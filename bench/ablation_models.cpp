@@ -1,0 +1,100 @@
+// Ablation B: surrogate model families on FCC-encoded data — the paper's
+// related work uses linear regression, decision trees, and boosted trees as
+// predictors; this bench compares them against the paper's MLP on the same
+// encoded dataset (ResNet / simulated RTX 4090).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "ml/gbdt.hpp"
+#include "ml/linreg.hpp"
+#include "ml/metrics.hpp"
+#include "ml/tree.hpp"
+#include "surrogate/gcn_surrogate.hpp"
+
+using namespace esm;
+using namespace esm::bench;
+
+int main(int argc, char** argv) {
+  ArgParser args("Ablation: surrogate model families on FCC encodings");
+  args.add_int("train", 6000, "training-set size");
+  args.add_int("test", 1500, "test-set size");
+  args.add_int("epochs", 150, "MLP training epochs");
+  args.add_int("seed", 23, "experiment seed");
+  if (!args.parse(argc, argv)) return 0;
+
+  const auto n_train = static_cast<std::size_t>(args.get_int("train"));
+  const auto n_test = static_cast<std::size_t>(args.get_int("test"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  const SupernetSpec spec = resnet_spec();
+  SimulatedDevice device(rtx4090_spec(), seed * 3 + 1);
+  const LabeledSet pool = generate_dataset(
+      spec, device, SamplingStrategy::kRandom, n_train + n_test, seed);
+  LabeledSet train, test;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    MeasuredSample s{pool.archs[i], pool.latencies_ms[i]};
+    if (i < n_test) test.add(s);
+    else train.add(s);
+  }
+
+  // Shared FCC features.
+  auto encoder = make_encoder(EncodingKind::kFcc, spec);
+  const Matrix x_train = encoder->encode_all(train.archs);
+  const Matrix x_test = encoder->encode_all(test.archs);
+
+  print_banner(std::cout, "Model-family ablation on FCC features "
+                          "(ResNet / simulated RTX 4090, train " +
+                              std::to_string(train.size()) + ")");
+  TablePrinter table({"Model", "accuracy", "RMSE (ms)", "Kendall tau"});
+
+  auto add_row = [&](const std::string& name,
+                     const std::vector<double>& pred) {
+    table.add_row({name, format_percent(mean_accuracy(pred, test.latencies_ms), 1),
+                   format_double(rmse(pred, test.latencies_ms), 3),
+                   format_double(kendall_tau(pred, test.latencies_ms), 3)});
+  };
+
+  {
+    const SurrogateResult mlp = run_mlp_experiment(
+        EncodingKind::kFcc, spec, train, test, seed + 6,
+        static_cast<int>(args.get_int("epochs")));
+    table.add_row({"MLP 3x64 (paper)", format_percent(mlp.accuracy, 1),
+                   format_double(mlp.rmse_ms, 3),
+                   format_double(mlp.kendall, 3)});
+  }
+  {
+    LinearRegression reg;
+    reg.fit(x_train, train.latencies_ms);
+    add_row("linear regression", reg.predict(x_test));
+  }
+  {
+    DecisionTreeRegressor tree(
+        {.max_depth = 14, .min_samples_leaf = 4, .min_samples_split = 8});
+    tree.fit(x_train, train.latencies_ms);
+    add_row("decision tree (d<=14)", tree.predict(x_test));
+  }
+  {
+    // Graph-encoding baseline (related work [14][19]): operates on the
+    // block chain graph directly, no hand-designed encoding.
+    GcnSurrogate gcn(spec, {.hidden = 32, .epochs = 40, .seed = seed + 7});
+    gcn.fit(train.archs, train.latencies_ms);
+    add_row("GCN (2x32, chain graph)", gcn.predict_all(test.archs));
+  }
+  {
+    GradientBoostingRegressor gbdt(
+        {.n_estimators = 150,
+         .learning_rate = 0.1,
+         .tree = {.max_depth = 5, .min_samples_leaf = 4,
+                  .min_samples_split = 8}});
+    gbdt.fit(x_train, train.latencies_ms);
+    add_row("gradient boosting (150x d5)", gbdt.predict(x_test));
+  }
+  table.print(std::cout);
+  std::cout << "FCC features carry most of the signal — notably, latency is "
+               "nearly LINEAR in per-unit\ncombination counts, so even plain "
+               "linear regression is competitive; axis-aligned trees\n"
+               "fragment the count space and trail.\n";
+  return 0;
+}

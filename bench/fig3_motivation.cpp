@@ -1,0 +1,87 @@
+// Fig. 3 reproduction (motivational case study): does more training data fix
+// the statistical (summary) encoding?
+//
+// For the ResNet and DenseNet spaces, 24,000 random samples are measured on
+// the simulated RTX 4090; an MLP with the SoTA statistical encoding is
+// trained on 8,000 and on 20,000 samples and tested on 4,000. The paper's
+// finding: the extra 12,000 samples do NOT meaningfully improve accuracy
+// (the encoding's overlapping representations are the bottleneck), and the
+// smaller DenseNet space scores much higher than ResNet.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "surrogate/mlp_surrogate.hpp"
+
+using namespace esm;
+using namespace esm::bench;
+
+int main(int argc, char** argv) {
+  ArgParser args("Fig. 3: statistical-encoding accuracy vs training-set size");
+  args.add_int("train-small", 8000, "small training-set size");
+  args.add_int("train-large", 20000, "large training-set size");
+  args.add_int("test", 4000, "test-set size");
+  args.add_int("epochs", 150, "training epochs");
+  args.add_int("seed", 1, "experiment seed");
+  if (!args.parse(argc, argv)) return 0;
+
+  const auto n_small = static_cast<std::size_t>(args.get_int("train-small"));
+  const auto n_large = static_cast<std::size_t>(args.get_int("train-large"));
+  const auto n_test = static_cast<std::size_t>(args.get_int("test"));
+  const int epochs = static_cast<int>(args.get_int("epochs"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  print_banner(std::cout,
+               "Fig. 3: statistical encoding, 8k vs 20k training samples "
+               "(simulated RTX 4090)");
+
+  TablePrinter summary({"Space", "train size", "avg accuracy", "RMSE (ms)",
+                        "Kendall tau"});
+  for (const SupernetSpec& spec : {resnet_spec(), densenet_spec()}) {
+    SimulatedDevice device(rtx4090_spec(), seed * 7919 + 1);
+    const LabeledSet pool = generate_dataset(
+        spec, device, SamplingStrategy::kRandom, n_large + n_test, seed);
+
+    LabeledSet test;
+    LabeledSet train_large;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      MeasuredSample s{pool.archs[i], pool.latencies_ms[i]};
+      if (i < n_test) test.add(s);
+      else train_large.add(s);
+    }
+    LabeledSet train_small;
+    for (std::size_t i = 0; i < n_small && i < train_large.size(); ++i) {
+      train_small.add(
+          {train_large.archs[i], train_large.latencies_ms[i]});
+    }
+
+    const SurrogateResult small = run_mlp_experiment(
+        EncodingKind::kStatistical, spec, train_small, test, seed + 1, epochs);
+    const SurrogateResult large = run_mlp_experiment(
+        EncodingKind::kStatistical, spec, train_large, test, seed + 1, epochs);
+
+    summary.add_row({spec.name, std::to_string(train_small.size()),
+                     format_percent(small.accuracy, 1),
+                     format_double(small.rmse_ms, 3),
+                     format_double(small.kendall, 3)});
+    summary.add_row({spec.name, std::to_string(train_large.size()),
+                     format_percent(large.accuracy, 1),
+                     format_double(large.rmse_ms, 3),
+                     format_double(large.kendall, 3)});
+
+    // Scatter excerpts (Fig. 3a-d analogue).
+    print_banner(std::cout, spec.name + ": actual vs predicted, trained on " +
+                                std::to_string(train_small.size()));
+    MlpSurrogate s_small(make_encoder(EncodingKind::kStatistical, spec),
+                         paper_train_config(epochs), seed + 1);
+    s_small.fit(train_small.archs, train_small.latencies_ms);
+    print_scatter_sample(std::cout, s_small, test, 8);
+  }
+
+  print_banner(std::cout, "Fig. 3e: average accuracy summary");
+  summary.print(std::cout);
+  std::cout << "Expected shape (paper): enlarging the training set from 8k "
+               "to 20k barely moves accuracy,\nand DenseNet (small space) "
+               "scores much higher than ResNet (huge, diverse space).\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Fig. 4 reproduction: the cost of data acquisition vs predictor training.
+//
+// (a) The simulated wall-clock time to measure ONE model's latency (150
+//     timed runs + warm-up + host overhead per run on the RTX 4090) is
+//     compared with the real wall-clock time this machine needs to train
+//     the paper's MLP predictor on 8,000+ samples. The paper's point: one
+//     latency measurement costs about as much as an entire predictor
+//     training run, so datasets are the expensive resource.
+// (b) Per-run latency traces for three architectures, showing the
+//     fluctuation (warm-up, jitter, outliers) that forces the 150-run
+//     trimmed-mean protocol.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "nets/builder.hpp"
+
+using namespace esm;
+using namespace esm::bench;
+
+int main(int argc, char** argv) {
+  ArgParser args("Fig. 4: measurement cost vs training cost");
+  args.add_int("models", 20, "models to measure for the cost average");
+  args.add_int("train", 8000, "training-set size for the timing run");
+  args.add_int("epochs", 150, "training epochs");
+  if (!args.parse(argc, argv)) return 0;
+
+  const SupernetSpec spec = resnet_spec();
+  SimulatedDevice device(rtx4090_spec(), 11);
+  Rng rng(12);
+  RandomSampler sampler(spec);
+
+  // --- (a) measurement cost per model ---------------------------------
+  const int n_models = static_cast<int>(args.get_int("models"));
+  device.reset_measurement_cost();
+  for (int i = 0; i < n_models; ++i) {
+    device.begin_session();
+    (void)device.measure_ms(build_graph(spec, sampler.sample(rng)));
+  }
+  const double per_model_s =
+      device.measurement_cost_seconds() / static_cast<double>(n_models);
+
+  // Training cost: fit the paper MLP on `train` samples (labels from the
+  // deterministic model — label values do not affect training time).
+  const auto n_train = static_cast<std::size_t>(args.get_int("train"));
+  LabeledSet train;
+  const LatencyModel model(rtx4090_spec());
+  for (std::size_t i = 0; i < n_train; ++i) {
+    const ArchConfig arch = sampler.sample(rng);
+    train.add({arch, model.true_latency_ms(build_graph(spec, arch))});
+  }
+  LabeledSet probe;
+  for (std::size_t i = 0; i < 10; ++i) {
+    probe.add({train.archs[i], train.latencies_ms[i]});
+  }
+  const SurrogateResult fit = run_mlp_experiment(
+      EncodingKind::kFcc, spec, train, probe, 1,
+      static_cast<int>(args.get_int("epochs")));
+
+  print_banner(std::cout, "Fig. 4a: latency-measurement vs training time");
+  TablePrinter costs({"operation", "wall-clock seconds"});
+  costs.add_row({"measure ONE model (150 runs + warm-up, simulated RTX 4090)",
+                 format_double(per_model_s, 2)});
+  costs.add_row({"train MLP predictor on " + std::to_string(n_train) +
+                     " samples (this machine)",
+                 format_double(fit.train_seconds, 2)});
+  costs.add_row({"measure 8000 models (extrapolated)",
+                 format_double(per_model_s * 8000.0, 0)});
+  costs.print(std::cout);
+  std::cout << "Paper's point: one measurement ~ one full predictor "
+               "training -> data acquisition dominates,\nmotivating the "
+               "train-evaluate-extend loop with early exit.\n";
+
+  // --- (b) per-run fluctuation ----------------------------------------
+  print_banner(std::cout, "Fig. 4b: latency across inferences (every 10th "
+                          "of 150 runs)");
+  TablePrinter trace_table({"run#", "config A (ms)", "config B (ms)",
+                            "config C (ms)"});
+  std::vector<std::vector<double>> traces;
+  std::vector<double> trimmed;
+  for (int c = 0; c < 3; ++c) {
+    device.begin_session();
+    const LayerGraph g = build_graph(spec, sampler.sample(rng));
+    traces.push_back(device.measure_trace_ms(g));
+    trimmed.push_back(SimulatedDevice::summarize(traces.back(), 0.2));
+  }
+  for (std::size_t run = 0; run < traces[0].size(); run += 10) {
+    trace_table.add_row({std::to_string(run),
+                         format_double(traces[0][run], 3),
+                         format_double(traces[1][run], 3),
+                         format_double(traces[2][run], 3)});
+  }
+  trace_table.print(std::cout);
+  TablePrinter protocol({"config", "raw mean (ms)", "trimmed mean (ms)",
+                         "raw CV"});
+  const char* names[] = {"A", "B", "C"};
+  for (int c = 0; c < 3; ++c) {
+    protocol.add_row(
+        {names[c], format_double(mean(traces[static_cast<std::size_t>(c)]), 3),
+         format_double(trimmed[static_cast<std::size_t>(c)], 3),
+         format_percent(coefficient_of_variation(
+                            traces[static_cast<std::size_t>(c)]),
+                        1)});
+  }
+  protocol.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Micro-benchmarks (google-benchmark): throughput of the hot components —
+// architecture sampling, graph lowering, latency analysis, encoders, the
+// measurement protocol, and MLP training steps.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "nets/builder.hpp"
+
+using namespace esm;
+
+namespace {
+
+void BM_RandomSample(benchmark::State& state) {
+  const SupernetSpec spec = resnet_spec();
+  RandomSampler sampler(spec);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(rng));
+  }
+}
+BENCHMARK(BM_RandomSample);
+
+void BM_BalancedSample(benchmark::State& state) {
+  const SupernetSpec spec = resnet_spec();
+  BalancedSampler sampler(spec, 5);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(rng));
+  }
+}
+BENCHMARK(BM_BalancedSample);
+
+void BM_BuildGraph(benchmark::State& state) {
+  const SupernetSpec spec =
+      state.range(0) == 0 ? resnet_spec()
+                          : (state.range(0) == 1 ? mobilenet_v3_spec()
+                                                 : densenet_spec());
+  RandomSampler sampler(spec);
+  Rng rng(2);
+  const ArchConfig arch = sampler.sample(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_graph(spec, arch));
+  }
+}
+BENCHMARK(BM_BuildGraph)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_TrueLatency(benchmark::State& state) {
+  const SupernetSpec spec = resnet_spec();
+  const LatencyModel model(rtx4090_spec());
+  RandomSampler sampler(spec);
+  Rng rng(3);
+  const LayerGraph g = build_graph(spec, sampler.sample(rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.true_latency_ms(g));
+  }
+}
+BENCHMARK(BM_TrueLatency);
+
+void BM_MeasureProtocol(benchmark::State& state) {
+  const SupernetSpec spec = resnet_spec();
+  SimulatedDevice device(rtx4090_spec(), 4);
+  RandomSampler sampler(spec);
+  Rng rng(5);
+  const LayerGraph g = build_graph(spec, sampler.sample(rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device.measure_ms(g));
+  }
+}
+BENCHMARK(BM_MeasureProtocol);
+
+void BM_Encode(benchmark::State& state) {
+  const SupernetSpec spec = resnet_spec();
+  auto encoder = make_encoder(static_cast<EncodingKind>(state.range(0)), spec);
+  RandomSampler sampler(spec);
+  Rng rng(6);
+  const ArchConfig arch = sampler.sample(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder->encode(arch));
+  }
+  state.SetLabel(encoder->name());
+}
+BENCHMARK(BM_Encode)->DenseRange(0, 4);
+
+void BM_MlpTrainEpoch(benchmark::State& state) {
+  // One epoch on 1024 FCC-encoded ResNet samples.
+  const SupernetSpec spec = resnet_spec();
+  auto encoder = make_encoder(EncodingKind::kFcc, spec);
+  RandomSampler sampler(spec);
+  Rng rng(7);
+  const auto archs = sampler.sample_n(1024, rng);
+  const Matrix x = encoder->encode_all(archs);
+  std::vector<double> y(archs.size());
+  const LatencyModel model(rtx4090_spec());
+  for (std::size_t i = 0; i < archs.size(); ++i) {
+    y[i] = model.true_latency_ms(build_graph(spec, archs[i]));
+  }
+  Rng init(8);
+  Mlp mlp = Mlp::paper_predictor(encoder->dimension(), init);
+  const AdamConfig adam;
+  Matrix batch_x(256, x.cols());
+  std::vector<double> batch_y(256);
+  for (auto _ : state) {
+    for (std::size_t off = 0; off + 256 <= archs.size(); off += 256) {
+      for (std::size_t i = 0; i < 256; ++i) {
+        const auto src = x.row(off + i);
+        auto dst = batch_x.row(i);
+        for (std::size_t c = 0; c < x.cols(); ++c) dst[c] = src[c];
+        batch_y[i] = y[off + i];
+      }
+      benchmark::DoNotOptimize(
+          mlp.train_batch(batch_x, batch_y, adam, 0.0));
+    }
+  }
+}
+BENCHMARK(BM_MlpTrainEpoch);
+
+void BM_PredictOne(benchmark::State& state) {
+  const SupernetSpec spec = resnet_spec();
+  SimulatedDevice device(rtx4090_spec(), 9);
+  bench::LabeledSet train;
+  RandomSampler sampler(spec);
+  Rng rng(10);
+  const LatencyModel model(rtx4090_spec());
+  for (int i = 0; i < 500; ++i) {
+    const ArchConfig arch = sampler.sample(rng);
+    train.add({arch, model.true_latency_ms(build_graph(spec, arch))});
+  }
+  MlpSurrogate surrogate(make_encoder(EncodingKind::kFcc, spec),
+                         bench::paper_train_config(30), 11);
+  surrogate.fit(train.archs, train.latencies_ms);
+  const ArchConfig query = sampler.sample(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(surrogate.predict_ms(query));
+  }
+}
+BENCHMARK(BM_PredictOne);
+
+}  // namespace
+
+BENCHMARK_MAIN();

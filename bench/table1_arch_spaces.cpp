@@ -1,0 +1,84 @@
+// Table I reproduction: the three supernet architecture spaces and their
+// hyper-parameters, with cardinalities computed from the implemented specs
+// (paper values: ResNet 8.38e26, MobileNetV3 8.38e26, DenseNet 1e10), plus
+// lowering statistics for a mid-sized member of each space.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "nets/builder.hpp"
+
+using namespace esm;
+
+namespace {
+
+std::string int_list(const std::vector<int>& xs) {
+  std::vector<std::string> parts;
+  for (int x : xs) parts.push_back(std::to_string(x));
+  return "{" + join(parts, ", ") + "}";
+}
+
+std::string double_list(const std::vector<double>& xs) {
+  std::vector<std::string> parts;
+  for (double x : xs) parts.push_back(format_double(x, 3));
+  return "{" + join(parts, ", ") + "}";
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout,
+               "Table I: supernet architectures and hyperparameters");
+
+  TablePrinter table({"Variable", "ResNet", "MobileNetV3", "DenseNet"});
+  const SupernetSpec r = resnet_spec();
+  const SupernetSpec m = mobilenet_v3_spec();
+  const SupernetSpec d = densenet_spec();
+
+  table.add_row({"Stage width list", int_list(r.stage_widths),
+                 int_list(m.stage_widths), "N/A (growth rate 32)"});
+  table.add_row({"# of units", std::to_string(r.num_units),
+                 std::to_string(m.num_units), std::to_string(d.num_units)});
+  table.add_row(
+      {"# of blocks per unit",
+       "{1..." + std::to_string(r.max_blocks_per_unit) + "}",
+       "{1..." + std::to_string(m.max_blocks_per_unit) + "}",
+       "{1..." + std::to_string(d.max_blocks_per_unit) + "}"});
+  table.add_row({"Kernel size options", int_list(r.kernel_options),
+                 int_list(m.kernel_options),
+                 int_list(d.kernel_options) + " (per unit)"});
+  table.add_row({"Width-expansion options", double_list(r.expansion_options),
+                 double_list(m.expansion_options), "N/A"});
+  table.add_row({"# of architectures (paper)", "8.38e+26", "8.38e+26",
+                 "1e+10"});
+  table.add_row({"# of architectures (computed)",
+                 format_scientific(r.space_cardinality()),
+                 format_scientific(m.space_cardinality()),
+                 format_scientific(d.space_cardinality())});
+  table.print(std::cout);
+
+  print_banner(std::cout, "Lowering check: a mid-sized member of each space");
+  TablePrinter stats({"Space", "blocks", "layers", "GFLOPs", "params (M)"});
+  for (const SupernetSpec& spec : {r, m, d}) {
+    ArchConfig arch;
+    arch.kind = spec.kind;
+    const int depth = (spec.min_blocks_per_unit + spec.max_blocks_per_unit) / 2;
+    for (int u = 0; u < spec.num_units; ++u) {
+      UnitConfig unit;
+      for (int b = 0; b < depth; ++b) {
+        unit.blocks.push_back({spec.kernel_options[1],
+                               spec.expansion_options.empty()
+                                   ? 1.0
+                                   : spec.expansion_options[1]});
+      }
+      arch.units.push_back(unit);
+    }
+    const LayerGraph g = build_graph(spec, arch);
+    stats.add_row({spec.name, std::to_string(arch.total_blocks()),
+                   std::to_string(g.size()),
+                   format_double(g.total_flops() / 1e9, 2),
+                   format_double(g.total_params() / 1e6, 2)});
+  }
+  stats.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Porting a latency predictor to a new device on a small measurement budget.
+//
+// The paper's framework is device-agnostic: the same spaces/encodings are
+// re-profiled per target (Fig. 10 used only 1,200 samples on the Raspberry
+// Pi 4 because each measurement there is slow). This example builds a
+// ResNet predictor for the Pi with balanced sampling and a tight budget,
+// reports per-depth-bin accuracy, and contrasts the measurement cost with
+// the RTX 4090.
+//
+//   $ ./examples/device_porting [--budget 1200]
+#include <iostream>
+
+#include "common/argparse.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "esm/framework.hpp"
+#include "hwsim/device.hpp"
+
+int main(int argc, char** argv) {
+  esm::ArgParser args("Port a ResNet latency predictor to the Raspberry Pi 4.");
+  args.add_int("budget", 1200, "total training-sample budget");
+  args.add_int("seed", 5, "experiment seed");
+  if (!args.parse(argc, argv)) return 0;
+
+  const int budget = static_cast<int>(args.get_int("budget"));
+
+  esm::EsmConfig config;
+  config.spec = esm::resnet_spec();
+  config.strategy = esm::SamplingStrategy::kBalanced;
+  config.encoding = esm::EncodingKind::kFcc;
+  config.n_initial = budget / 2;
+  config.n_step = budget / 8;
+  config.n_test = 300;
+  config.acc_threshold = 0.93;
+  config.max_iterations = 4;  // initial + up to 4 extensions ~ the budget
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  for (const char* device_name : {"rpi4", "rtx4090"}) {
+    const esm::DeviceSpec spec = esm::device_by_name(device_name);
+    esm::SimulatedDevice device(spec, config.seed + 17);
+    std::cout << "\n=== Target: " << spec.name << " ("
+              << esm::device_class_name(spec.device_class) << ") ===\n";
+
+    esm::EsmFramework framework(config, device);
+    const esm::EsmResult result = framework.run();
+    const esm::IterationReport& last = result.iterations.back();
+
+    esm::TablePrinter bins({"depth bin", "test samples", "accuracy"});
+    for (const esm::BinAccuracy& b : last.eval.bins) {
+      bins.add_row({b.label, std::to_string(b.count),
+                    esm::format_percent(b.accuracy, 1)});
+    }
+    bins.print(std::cout);
+
+    esm::TablePrinter summary({"metric", "value"});
+    summary.add_row({"training samples",
+                     std::to_string(result.final_train_set_size)});
+    summary.add_row({"overall accuracy",
+                     esm::format_percent(last.eval.overall_accuracy, 1)});
+    summary.add_row(
+        {"simulated measurement time",
+         esm::format_double(result.total_measurement_seconds / 3600.0, 2) +
+             " h"});
+    summary.add_row({"predictor training time",
+                     esm::format_double(result.total_train_seconds, 1) + " s"});
+    summary.print(std::cout);
+  }
+  std::cout << "\nNote how the embedded target turns measurement time into "
+               "the dominant cost — exactly why\nthe paper ports predictors "
+               "with small, balanced budgets and an early-exit loop.\n";
+  return 0;
+}

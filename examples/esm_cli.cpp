@@ -1,0 +1,168 @@
+// esm_cli — command-line front end for the ESM framework.
+//
+// Subcommands (first positional-free flag set selects the action):
+//   --build    build a predictor with the train-evaluate-extend loop and
+//              save it (--model PATH)
+//   --predict  load a saved predictor (--model PATH) and price N randomly
+//              sampled architectures
+//   --search   load a saved predictor and run latency-constrained
+//              evolutionary NAS under --budget-ms
+//
+// Examples:
+//   esm_cli --build --supernet resnet --device rtx4090 --model /tmp/m.txt
+//   esm_cli --predict --model /tmp/m.txt --count 10
+//   esm_cli --search --model /tmp/m.txt --device rtx4090 --budget-ms 3.5
+#include <iostream>
+
+#include "common/argparse.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "esm/framework.hpp"
+#include "nas/accuracy_proxy.hpp"
+#include "nas/search.hpp"
+#include "nets/builder.hpp"
+
+namespace {
+
+int run_build(const esm::ArgParser& args) {
+  const esm::DeviceSpec device_spec =
+      esm::device_by_name(args.get_string("device"));
+  esm::SimulatedDevice device(device_spec,
+                              static_cast<std::uint64_t>(args.get_int("seed")));
+
+  esm::EsmConfig config;
+  config.spec = esm::spec_by_name(args.get_string("supernet"));
+  config.strategy =
+      esm::sampling_strategy_from_name(args.get_string("strategy"));
+  config.encoding = esm::encoding_kind_from_name(args.get_string("encoding"));
+  config.n_initial = static_cast<int>(args.get_int("n-initial"));
+  config.n_step = static_cast<int>(args.get_int("n-step"));
+  config.n_bins = static_cast<int>(args.get_int("n-bins"));
+  config.acc_threshold = args.get_double("acc-th");
+  config.max_iterations = static_cast<int>(args.get_int("max-iters"));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  std::cout << "Building " << config.spec.name << " predictor ("
+            << esm::encoding_kind_name(config.encoding) << " encoding, "
+            << esm::sampling_strategy_name(config.strategy)
+            << " sampling) on " << device_spec.name << "...\n";
+  const esm::EsmResult result = esm::EsmFramework(config, device).run();
+  const esm::IterationReport& last = result.iterations.back();
+  std::cout << (result.converged ? "Converged" : "Budget exhausted")
+            << " after " << result.iterations.size() << " iteration(s), "
+            << result.final_train_set_size << " measured samples.\n"
+            << "Overall accuracy "
+            << esm::format_percent(last.eval.overall_accuracy)
+            << ", worst bin "
+            << esm::format_percent(last.eval.min_bin_accuracy) << ".\n";
+
+  const std::string path = args.get_string("model");
+  result.predictor->save(path);
+  std::cout << "Saved predictor to " << path << "\n";
+  return result.converged ? 0 : 2;
+}
+
+int run_predict(const esm::ArgParser& args) {
+  const esm::MlpSurrogate predictor =
+      esm::MlpSurrogate::load(args.get_string("model"));
+  const esm::SupernetSpec& spec = predictor.encoder().spec();
+  std::cout << "Loaded " << predictor.name() << " for the " << spec.name
+            << " space.\n";
+
+  esm::Rng rng(static_cast<std::uint64_t>(args.get_int("seed")));
+  esm::RandomSampler sampler(spec);
+  esm::TablePrinter table({"architecture (depths)", "blocks",
+                           "predicted latency (ms)"});
+  for (long long i = 0; i < args.get_int("count"); ++i) {
+    const esm::ArchConfig arch = sampler.sample(rng);
+    std::vector<std::string> depths;
+    for (int d : arch.depths()) depths.push_back(std::to_string(d));
+    table.add_row({"[" + esm::join(depths, ",") + "]",
+                   std::to_string(arch.total_blocks()),
+                   esm::format_double(predictor.predict_ms(arch), 3)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int run_search(const esm::ArgParser& args) {
+  const esm::MlpSurrogate predictor =
+      esm::MlpSurrogate::load(args.get_string("model"));
+  const esm::SupernetSpec& spec = predictor.encoder().spec();
+  const double budget = args.get_double("budget-ms");
+
+  esm::SearchConfig search_config;
+  search_config.population = 64;
+  search_config.generations = 25;
+  search_config.parents = 16;
+  search_config.latency_limit_ms = budget;
+  search_config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  esm::EvolutionarySearch search(spec, search_config);
+  const esm::AccuracyProxy proxy(spec);
+  const esm::SearchResult found = search.run(predictor, proxy);
+
+  std::cout << "Searched the " << spec.name << " space under "
+            << esm::format_double(budget, 3) << " ms (evaluated "
+            << found.evaluations << " candidates through the surrogate).\n";
+  if (!found.found_feasible) {
+    std::cout << "No feasible architecture found — raise --budget-ms.\n";
+    return 2;
+  }
+  std::cout << "Best architecture (predicted "
+            << esm::format_double(found.best.predicted_latency_ms, 3)
+            << " ms, proxy top-5 "
+            << esm::format_percent(found.best.proxy_accuracy) << "):\n  "
+            << found.best.arch.to_string() << "\n";
+
+  // Optional ground-truth check against the simulated device.
+  const std::string device_name = args.get_string("device");
+  if (!device_name.empty()) {
+    esm::SimulatedDevice device(esm::device_by_name(device_name), 1);
+    std::cout << "Ground-truth latency on " << device.spec().name << ": "
+              << esm::format_double(
+                     device.true_latency_ms(
+                         esm::build_graph(spec, found.best.arch)),
+                     3)
+              << " ms\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  esm::ArgParser args("esm_cli: build, query, and search with ESM latency "
+                      "predictors.");
+  args.add_bool("build", "build a predictor and save it to --model");
+  args.add_bool("predict", "load --model and price random architectures");
+  args.add_bool("search", "load --model and run NAS under --budget-ms");
+  args.add_string("model", "/tmp/esm_model.txt", "predictor archive path");
+  args.add_string("supernet", "resnet", "space (build): resnet|mobilenetv3|densenet");
+  args.add_string("device", "rtx4090",
+                  "device (build/search verification): rtx4090|rtx3080maxq|"
+                  "threadripper|rpi4");
+  args.add_string("strategy", "balanced", "sampling (build): random|balanced");
+  args.add_string("encoding", "fcc",
+                  "encoding (build): one-hot|feature|statistical|fc|fcc");
+  args.add_int("n-initial", 300, "N_I (build)");
+  args.add_int("n-step", 100, "N_Step (build)");
+  args.add_int("n-bins", 5, "N_Bins (build)");
+  args.add_double("acc-th", 0.95, "Acc_TH (build)");
+  args.add_int("max-iters", 20, "iteration budget (build)");
+  args.add_int("count", 10, "architectures to price (predict)");
+  args.add_double("budget-ms", 3.0, "latency budget (search)");
+  args.add_int("seed", 42, "seed");
+  if (!args.parse(argc, argv)) return 0;
+
+  try {
+    if (args.get_bool("build")) return run_build(args);
+    if (args.get_bool("predict")) return run_predict(args);
+    if (args.get_bool("search")) return run_search(args);
+    std::fputs(args.usage().c_str(), stdout);
+    std::fputs("\nPick one of --build, --predict, --search.\n", stdout);
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,86 @@
+// Quickstart: build an FCC-encoded latency predictor for the ResNet space
+// on the (simulated) RTX 4090 with the ESM train-evaluate-extend loop, then
+// query it.
+//
+//   $ ./examples/quickstart [--device rtx4090] [--supernet resnet]
+#include <cstdio>
+#include <iostream>
+
+#include "common/argparse.hpp"
+#include "common/strings.hpp"
+#include "esm/framework.hpp"
+#include "hwsim/device.hpp"
+#include "nets/sampler.hpp"
+
+int main(int argc, char** argv) {
+  esm::ArgParser args(
+      "Quickstart: build a latency predictor with the ESM framework.");
+  args.add_string("device", "rtx4090",
+                  "target device (rtx4090|rtx3080maxq|threadripper|rpi4)");
+  args.add_string("supernet", "resnet",
+                  "architecture space (resnet|mobilenetv3|densenet)");
+  args.add_int("seed", 42, "experiment seed");
+  if (!args.parse(argc, argv)) return 0;
+
+  // 1. Pick the target device and architecture space.
+  const esm::DeviceSpec device_spec =
+      esm::device_by_name(args.get_string("device"));
+  esm::SimulatedDevice device(device_spec,
+                              static_cast<std::uint64_t>(args.get_int("seed")));
+
+  // 2. Configure the framework (paper defaults: balanced sampling, FCC
+  //    encoding, bin-wise evaluation).
+  esm::EsmConfig config;
+  config.spec = esm::spec_by_name(args.get_string("supernet"));
+  config.strategy = esm::SamplingStrategy::kBalanced;
+  config.encoding = esm::EncodingKind::kFcc;
+  config.n_initial = 300;
+  config.n_step = 100;
+  config.n_bins = 5;
+  config.acc_threshold = 0.95;
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  // 3. Run the train-evaluate-extend loop.
+  esm::EsmFramework framework(config, device);
+  esm::EsmResult result = framework.run();
+
+  std::cout << "ESM loop on " << device_spec.name << " / "
+            << config.spec.name << ":\n";
+  for (const esm::IterationReport& it : result.iterations) {
+    std::cout << "  iter " << it.iteration << ": train set "
+              << it.train_set_size << ", overall acc "
+              << esm::format_percent(it.eval.overall_accuracy)
+              << ", min bin acc "
+              << esm::format_percent(it.eval.min_bin_accuracy)
+              << (it.passed ? "  [converged]" : "") << '\n';
+  }
+  std::cout << (result.converged ? "Converged" : "Did not converge")
+            << " with " << result.final_train_set_size
+            << " training samples.\n"
+            << "Simulated measurement time: "
+            << esm::format_double(result.total_measurement_seconds, 1)
+            << " s; predictor training time: "
+            << esm::format_double(result.total_train_seconds, 2) << " s\n\n";
+
+  // 4. Persist the predictor and restore it (what a NAS tool would ship).
+  const std::string model_path = "/tmp/esm_quickstart_predictor.txt";
+  result.predictor->save(model_path);
+  const esm::MlpSurrogate restored = esm::MlpSurrogate::load(model_path);
+  std::cout << "Predictor saved to and restored from " << model_path
+            << ".\n\n";
+
+  // 5. Query the restored predictor on fresh architectures.
+  esm::Rng rng(123);
+  esm::RandomSampler sampler(config.spec);
+  std::cout << "Sample predictions vs. ground truth:\n";
+  for (int i = 0; i < 5; ++i) {
+    const esm::ArchConfig arch = sampler.sample(rng);
+    const double predicted = restored.predict_ms(arch);
+    const double actual =
+        device.true_latency_ms(esm::build_graph(config.spec, arch));
+    std::cout << "  " << arch.total_blocks() << " blocks: predicted "
+              << esm::format_double(predicted, 3) << " ms, true "
+              << esm::format_double(actual, 3) << " ms\n";
+  }
+  return 0;
+}

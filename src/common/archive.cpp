@@ -1,0 +1,159 @@
+#include "common/archive.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace esm {
+namespace {
+
+constexpr const char* kMagic = "esm-archive v1";
+
+std::string format_value(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+bool valid_key(const std::string& key) {
+  if (key.empty()) return false;
+  for (char c : key) {
+    if (c == ' ' || c == '\n' || c == '\t' || c == '\r') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void ArchiveWriter::put_string(const std::string& key,
+                               const std::string& value) {
+  ESM_REQUIRE(valid_key(key), "invalid archive key: '" << key << "'");
+  ESM_REQUIRE(valid_key(value),
+              "archive string values must be whitespace-free: '" << value
+                                                                 << "'");
+  entries_.emplace_back(key, "1 " + value);
+}
+
+void ArchiveWriter::put_double(const std::string& key, double value) {
+  ESM_REQUIRE(valid_key(key), "invalid archive key: '" << key << "'");
+  entries_.emplace_back(key, "1 " + format_value(value));
+}
+
+void ArchiveWriter::put_int(const std::string& key, long long value) {
+  ESM_REQUIRE(valid_key(key), "invalid archive key: '" << key << "'");
+  entries_.emplace_back(key, "1 " + std::to_string(value));
+}
+
+void ArchiveWriter::put_doubles(const std::string& key,
+                                const std::vector<double>& values) {
+  ESM_REQUIRE(valid_key(key), "invalid archive key: '" << key << "'");
+  std::ostringstream os;
+  os << values.size();
+  for (double v : values) os << ' ' << format_value(v);
+  entries_.emplace_back(key, os.str());
+}
+
+std::string ArchiveWriter::to_string() const {
+  std::ostringstream os;
+  os << kMagic << '\n';
+  for (const auto& [key, payload] : entries_) {
+    os << key << ' ' << payload << '\n';
+  }
+  return os.str();
+}
+
+void ArchiveWriter::save(const std::string& path) const {
+  std::ofstream out(path);
+  ESM_REQUIRE(out.good(), "cannot open archive for writing: " << path);
+  out << to_string();
+  ESM_REQUIRE(out.good(), "failed writing archive: " << path);
+}
+
+ArchiveReader ArchiveReader::from_string(const std::string& content) {
+  std::istringstream in(content);
+  std::string header;
+  std::getline(in, header);
+  ESM_REQUIRE(header == kMagic,
+              "not an ESM archive (bad header: '" << header << "')");
+  ArchiveReader reader;
+  std::string line;
+  int line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream tokens(line);
+    std::string key;
+    std::size_t count = 0;
+    ESM_REQUIRE(static_cast<bool>(tokens >> key >> count),
+                "archive parse error at line " << line_no);
+    std::vector<std::string> values;
+    values.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::string v;
+      ESM_REQUIRE(static_cast<bool>(tokens >> v),
+                  "archive entry '" << key << "' truncated at line "
+                                    << line_no);
+      values.push_back(std::move(v));
+    }
+    ESM_REQUIRE(reader.entries_.emplace(key, std::move(values)).second,
+                "duplicate archive key '" << key << "'");
+  }
+  return reader;
+}
+
+ArchiveReader ArchiveReader::from_file(const std::string& path) {
+  std::ifstream in(path);
+  ESM_REQUIRE(in.good(), "cannot open archive: " << path);
+  std::ostringstream content;
+  content << in.rdbuf();
+  return from_string(content.str());
+}
+
+bool ArchiveReader::has(const std::string& key) const {
+  return entries_.count(key) > 0;
+}
+
+std::string ArchiveReader::get_string(const std::string& key) const {
+  const auto it = entries_.find(key);
+  ESM_REQUIRE(it != entries_.end(), "archive key missing: '" << key << "'");
+  ESM_REQUIRE(it->second.size() == 1,
+              "archive key '" << key << "' is not a scalar");
+  return it->second.front();
+}
+
+double ArchiveReader::get_double(const std::string& key) const {
+  const std::string raw = get_string(key);
+  char* end = nullptr;
+  const double v = std::strtod(raw.c_str(), &end);
+  ESM_REQUIRE(end != nullptr && *end == '\0',
+              "archive key '" << key << "' is not a number: " << raw);
+  return v;
+}
+
+long long ArchiveReader::get_int(const std::string& key) const {
+  const std::string raw = get_string(key);
+  char* end = nullptr;
+  const long long v = std::strtoll(raw.c_str(), &end, 10);
+  ESM_REQUIRE(end != nullptr && *end == '\0',
+              "archive key '" << key << "' is not an integer: " << raw);
+  return v;
+}
+
+std::vector<double> ArchiveReader::get_doubles(const std::string& key) const {
+  const auto it = entries_.find(key);
+  ESM_REQUIRE(it != entries_.end(), "archive key missing: '" << key << "'");
+  std::vector<double> out;
+  out.reserve(it->second.size());
+  for (const std::string& raw : it->second) {
+    char* end = nullptr;
+    const double v = std::strtod(raw.c_str(), &end);
+    ESM_REQUIRE(end != nullptr && *end == '\0',
+                "archive key '" << key << "' holds a non-number: " << raw);
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace esm

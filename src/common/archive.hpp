@@ -1,0 +1,57 @@
+// Minimal typed key-value archive for model persistence.
+//
+// Text format, one entry per line:
+//   esm-archive v1
+//   <key> <count> <v0> <v1> ...
+// Keys are written/read in any order; vectors of doubles, scalars, and
+// strings (whitespace-free tokens) are supported. Used to save and load
+// trained surrogates (MLP weights, standardizers, encoder/spec identity).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace esm {
+
+/// Accumulates entries and writes them to a file on save().
+class ArchiveWriter {
+ public:
+  void put_string(const std::string& key, const std::string& value);
+  void put_double(const std::string& key, double value);
+  void put_int(const std::string& key, long long value);
+  void put_doubles(const std::string& key, const std::vector<double>& values);
+
+  /// Writes the archive; throws esm::ConfigError on I/O failure.
+  void save(const std::string& path) const;
+
+  /// Renders the archive to a string (used by tests).
+  std::string to_string() const;
+
+ private:
+  // Preserves insertion order for stable output.
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// Parses an archive file; typed getters throw esm::ConfigError on missing
+/// keys or type mismatches.
+class ArchiveReader {
+ public:
+  /// Loads from a file; throws esm::ConfigError on open/parse failure.
+  static ArchiveReader from_file(const std::string& path);
+
+  /// Parses from a string (used by tests).
+  static ArchiveReader from_string(const std::string& content);
+
+  bool has(const std::string& key) const;
+  std::string get_string(const std::string& key) const;
+  double get_double(const std::string& key) const;
+  long long get_int(const std::string& key) const;
+  std::vector<double> get_doubles(const std::string& key) const;
+
+ private:
+  std::map<std::string, std::vector<std::string>> entries_;
+};
+
+}  // namespace esm

@@ -1,0 +1,125 @@
+#include "common/argparse.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace esm {
+
+ArgParser::ArgParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void ArgParser::add_string(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  flags_[name] = Flag{Kind::kString, default_value, default_value, help};
+}
+
+void ArgParser::add_int(const std::string& name, long long default_value,
+                        const std::string& help) {
+  const std::string v = std::to_string(default_value);
+  flags_[name] = Flag{Kind::kInt, v, v, help};
+}
+
+void ArgParser::add_double(const std::string& name, double default_value,
+                           const std::string& help) {
+  std::ostringstream os;
+  os << default_value;
+  flags_[name] = Flag{Kind::kDouble, os.str(), os.str(), help};
+}
+
+void ArgParser::add_bool(const std::string& name, const std::string& help) {
+  flags_[name] = Flag{Kind::kBool, "false", "false", help};
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  if (argc > 0) program_name_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    ESM_REQUIRE(starts_with(arg, "--"), "unexpected argument: " << arg);
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(arg);
+    ESM_REQUIRE(it != flags_.end(), "unknown flag --" << arg);
+    Flag& flag = it->second;
+    if (!has_value) {
+      if (flag.kind == Kind::kBool) {
+        value = "true";
+      } else {
+        ESM_REQUIRE(i + 1 < argc, "flag --" << arg << " expects a value");
+        value = argv[++i];
+      }
+    }
+    // Type-check eagerly so errors point at the offending flag.
+    if (flag.kind == Kind::kInt) {
+      char* end = nullptr;
+      (void)std::strtoll(value.c_str(), &end, 10);
+      ESM_REQUIRE(end != nullptr && *end == '\0' && !value.empty(),
+                  "flag --" << arg << " expects an integer, got '" << value
+                            << "'");
+    } else if (flag.kind == Kind::kDouble) {
+      char* end = nullptr;
+      (void)std::strtod(value.c_str(), &end);
+      ESM_REQUIRE(end != nullptr && *end == '\0' && !value.empty(),
+                  "flag --" << arg << " expects a number, got '" << value
+                            << "'");
+    } else if (flag.kind == Kind::kBool) {
+      const std::string lower = to_lower(value);
+      ESM_REQUIRE(lower == "true" || lower == "false",
+                  "flag --" << arg << " expects true/false, got '" << value
+                            << "'");
+      value = lower;
+    }
+    flag.value = value;
+  }
+  return true;
+}
+
+const ArgParser::Flag& ArgParser::find(const std::string& name,
+                                       Kind kind) const {
+  auto it = flags_.find(name);
+  ESM_CHECK(it != flags_.end(), "flag --" << name << " was never declared");
+  ESM_CHECK(it->second.kind == kind,
+            "flag --" << name << " accessed with the wrong type");
+  return it->second;
+}
+
+std::string ArgParser::get_string(const std::string& name) const {
+  return find(name, Kind::kString).value;
+}
+
+long long ArgParser::get_int(const std::string& name) const {
+  return std::strtoll(find(name, Kind::kInt).value.c_str(), nullptr, 10);
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return std::strtod(find(name, Kind::kDouble).value.c_str(), nullptr);
+}
+
+bool ArgParser::get_bool(const std::string& name) const {
+  return find(name, Kind::kBool).value == "true";
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << description_ << "\n\nUsage: " << program_name_ << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << pad_right(name, 24) << flag.help
+       << " (default: " << flag.default_value << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace esm

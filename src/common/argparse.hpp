@@ -1,0 +1,61 @@
+// Minimal command-line flag parser for the bench and example binaries.
+// Supports "--name value", "--name=value", and boolean "--flag" forms, with
+// typed accessors and defaults, plus automatic --help text.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace esm {
+
+/// Declarative flag parser; declare flags, then parse(argc, argv).
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program_description);
+
+  /// Declares a string flag with a default.
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Declares an integer flag with a default.
+  void add_int(const std::string& name, long long default_value,
+               const std::string& help);
+
+  /// Declares a floating-point flag with a default.
+  void add_double(const std::string& name, double default_value,
+                  const std::string& help);
+
+  /// Declares a boolean flag (default false; presence sets it true, or
+  /// --name=true/false).
+  void add_bool(const std::string& name, const std::string& help);
+
+  /// Parses the command line. Returns false (after printing usage) when
+  /// --help is requested; throws esm::ConfigError on unknown/ill-typed flags.
+  bool parse(int argc, const char* const* argv);
+
+  std::string get_string(const std::string& name) const;
+  long long get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Renders the --help text.
+  std::string usage() const;
+
+ private:
+  enum class Kind { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Kind kind;
+    std::string value;  // canonical textual value
+    std::string default_value;
+    std::string help;
+  };
+
+  const Flag& find(const std::string& name, Kind kind) const;
+
+  std::string description_;
+  std::string program_name_ = "program";
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace esm

@@ -1,0 +1,42 @@
+#include "common/csv.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace esm {
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += "\"\"";
+    else quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> headers)
+    : out_(path), columns_(headers.size()) {
+  ESM_REQUIRE(out_.good(), "cannot open CSV file for writing: " << path);
+  ESM_REQUIRE(columns_ > 0, "CSV requires at least one column");
+  std::vector<std::string> escaped;
+  escaped.reserve(headers.size());
+  for (const auto& h : headers) escaped.push_back(escape(h));
+  out_ << join(escaped, ",") << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  ESM_REQUIRE(row.size() == columns_,
+              "CSV row width " << row.size() << " != " << columns_);
+  std::vector<std::string> escaped;
+  escaped.reserve(row.size());
+  for (const auto& f : row) escaped.push_back(escape(f));
+  out_ << join(escaped, ",") << '\n';
+  ++rows_written_;
+}
+
+}  // namespace esm

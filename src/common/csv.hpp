@@ -1,0 +1,34 @@
+// Minimal CSV writer. Bench binaries optionally dump their series to CSV so
+// figures can be re-plotted externally; the writer handles quoting and keeps
+// a fixed column schema per file.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace esm {
+
+/// Writes rows to a CSV file with a fixed header schema.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws esm::ConfigError if the file cannot be opened.
+  CsvWriter(const std::string& path, std::vector<std::string> headers);
+
+  /// Appends one row; must match the header width.
+  void add_row(const std::vector<std::string>& row);
+
+  /// Number of data rows written so far.
+  std::size_t row_count() const { return rows_written_; }
+
+  /// Quotes a CSV field if it contains separators/quotes/newlines.
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_written_ = 0;
+};
+
+}  // namespace esm

@@ -1,0 +1,68 @@
+// Error-handling helpers.
+//
+// Library code validates user-facing configuration with ESM_REQUIRE (throws
+// esm::ConfigError) and internal invariants with ESM_CHECK (throws
+// esm::LogicError). Per the project conventions, exceptions signal programmer
+// or configuration errors only; expected run-time conditions (e.g. a dataset
+// failing quality control) are reported through return values.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace esm {
+
+/// Thrown when user-supplied configuration is invalid.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an internal invariant is violated (a bug in this library).
+class LogicError : public std::logic_error {
+ public:
+  explicit LogicError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_config_error(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invalid configuration: " << msg << " [" << expr << " at " << file
+     << ':' << line << ']';
+  throw ConfigError(os.str());
+}
+
+[[noreturn]] inline void throw_logic_error(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "internal invariant violated: " << msg << " [" << expr << " at "
+     << file << ':' << line << ']';
+  throw LogicError(os.str());
+}
+}  // namespace detail
+
+}  // namespace esm
+
+/// Validate user-facing configuration; throws esm::ConfigError on failure.
+#define ESM_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream esm_require_os_;                                   \
+      esm_require_os_ << msg;                                               \
+      ::esm::detail::throw_config_error(#cond, __FILE__, __LINE__,          \
+                                        esm_require_os_.str());             \
+    }                                                                       \
+  } while (false)
+
+/// Validate an internal invariant; throws esm::LogicError on failure.
+#define ESM_CHECK(cond, msg)                                                \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream esm_check_os_;                                     \
+      esm_check_os_ << msg;                                                 \
+      ::esm::detail::throw_logic_error(#cond, __FILE__, __LINE__,           \
+                                       esm_check_os_.str());                \
+    }                                                                       \
+  } while (false)

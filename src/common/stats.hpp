@@ -1,0 +1,66 @@
+// Descriptive statistics used across the library: Welford running moments,
+// trimmed means for the latency-measurement protocol, percentiles, and
+// coefficient-of-variation helpers used by dataset quality control.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace esm {
+
+/// Single-pass running mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  /// Mean of observed values; 0 if empty.
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double variance() const;
+  /// Square root of variance().
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample standard deviation; 0 with fewer than two values.
+double stddev(std::span<const double> xs);
+
+/// Population standard deviation (divide by n); 0 for an empty span.
+double population_stddev(std::span<const double> xs);
+
+/// Coefficient of variation stddev/mean; 0 if the mean is 0.
+double coefficient_of_variation(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Requires non-empty input.
+double percentile(std::span<const double> xs, double p);
+
+/// Median (50th percentile). Requires non-empty input.
+double median(std::span<const double> xs);
+
+/// Mean after discarding the lowest and highest `trim_fraction` of the
+/// sorted values (each side). trim_fraction in [0, 0.5). This implements the
+/// paper's measurement protocol: with trim_fraction = 0.2 the slowest and
+/// fastest 20 % of inferences are discarded and the middle 60 % averaged.
+double trimmed_mean(std::span<const double> xs, double trim_fraction);
+
+/// Pearson correlation coefficient; 0 if either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Kendall rank-correlation coefficient (tau-a, O(n^2)); used to evaluate
+/// whether a latency predictor preserves architecture rankings.
+double kendall_tau(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace esm

@@ -1,0 +1,61 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace esm {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  ESM_REQUIRE(!headers_.empty(), "table requires at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  ESM_REQUIRE(row.size() == headers_.size(),
+              "row width " << row.size() << " != header width "
+                           << headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << pad_right(row[c], widths[c]) << " | ";
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+    if (c + 1 < widths.size()) continue;
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "\n==== " << title << " ====\n";
+}
+
+}  // namespace esm

@@ -1,0 +1,38 @@
+// ASCII table printing for the benchmark harnesses. Every bench binary that
+// regenerates a paper table/figure emits rows through TablePrinter so the
+// reproduction output is easy to compare against the paper.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace esm {
+
+/// Collects rows of strings and prints them as an aligned ASCII table.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; its size must equal the number of headers.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table to the stream with a header rule and column padding.
+  void print(std::ostream& os) const;
+
+  /// Renders to a string (convenience for tests).
+  std::string to_string() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner used by the bench binaries, e.g.
+/// "==== Fig. 9: Average accuracies (RTX 4090) ====".
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace esm

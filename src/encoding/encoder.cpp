@@ -1,0 +1,80 @@
+#include "encoding/encoder.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "encoding/encoders.hpp"
+
+namespace esm {
+
+const char* encoding_kind_name(EncodingKind kind) {
+  switch (kind) {
+    case EncodingKind::kOneHot: return "one-hot";
+    case EncodingKind::kFeature: return "feature";
+    case EncodingKind::kStatistical: return "statistical";
+    case EncodingKind::kFeatureCount: return "fc";
+    case EncodingKind::kFcc: return "fcc";
+  }
+  return "unknown";
+}
+
+EncodingKind encoding_kind_from_name(const std::string& name) {
+  const std::string lower = to_lower(name);
+  if (lower == "one-hot" || lower == "onehot") return EncodingKind::kOneHot;
+  if (lower == "feature") return EncodingKind::kFeature;
+  if (lower == "statistical" || lower == "stat") {
+    return EncodingKind::kStatistical;
+  }
+  if (lower == "fc" || lower == "feature-count") {
+    return EncodingKind::kFeatureCount;
+  }
+  if (lower == "fcc" || lower == "feature-combination-count") {
+    return EncodingKind::kFcc;
+  }
+  throw ConfigError("unknown encoding: " + name);
+}
+
+std::vector<EncodingKind> all_encoding_kinds() {
+  return {EncodingKind::kOneHot, EncodingKind::kFeature,
+          EncodingKind::kStatistical, EncodingKind::kFeatureCount,
+          EncodingKind::kFcc};
+}
+
+Matrix Encoder::encode_all(std::span<const ArchConfig> archs) const {
+  Matrix out(archs.size(), dimension());
+  for (std::size_t r = 0; r < archs.size(); ++r) {
+    const std::vector<double> z = encode(archs[r]);
+    ESM_CHECK(z.size() == dimension(), "encoder produced a wrong-size vector");
+    auto row = out.row(r);
+    for (std::size_t c = 0; c < z.size(); ++c) row[c] = z[c];
+  }
+  return out;
+}
+
+double Encoder::sparsity(const ArchConfig& arch) const {
+  const std::vector<double> z = encode(arch);
+  if (z.empty()) return 0.0;
+  std::size_t zeros = 0;
+  for (double v : z) {
+    if (v == 0.0) ++zeros;
+  }
+  return static_cast<double>(zeros) / static_cast<double>(z.size());
+}
+
+std::unique_ptr<Encoder> make_encoder(EncodingKind kind,
+                                      const SupernetSpec& spec) {
+  switch (kind) {
+    case EncodingKind::kOneHot:
+      return std::make_unique<OneHotEncoder>(spec);
+    case EncodingKind::kFeature:
+      return std::make_unique<FeatureEncoder>(spec);
+    case EncodingKind::kStatistical:
+      return std::make_unique<StatisticalEncoder>(spec);
+    case EncodingKind::kFeatureCount:
+      return std::make_unique<FeatureCountEncoder>(spec);
+    case EncodingKind::kFcc:
+      return std::make_unique<FccEncoder>(spec);
+  }
+  throw ConfigError("unknown encoding kind");
+}
+
+}  // namespace esm

@@ -1,0 +1,233 @@
+#include "encoding/encoders.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace esm {
+
+EncoderBase::EncoderBase(SupernetSpec spec) : spec_(std::move(spec)) {
+  ESM_REQUIRE(!spec_.kernel_options.empty(),
+              "encoder requires kernel options");
+  ESM_REQUIRE(spec_.num_units >= 1, "encoder requires at least one unit");
+}
+
+std::size_t EncoderBase::kernel_index(int kernel) const {
+  for (std::size_t i = 0; i < spec_.kernel_options.size(); ++i) {
+    if (spec_.kernel_options[i] == kernel) return i;
+  }
+  ESM_CHECK(false, "kernel " << kernel << " not in the space");
+  return 0;
+}
+
+std::size_t EncoderBase::expansion_index(double expansion) const {
+  if (spec_.expansion_options.empty()) return 0;
+  for (std::size_t i = 0; i < spec_.expansion_options.size(); ++i) {
+    if (std::abs(spec_.expansion_options[i] - expansion) < 1e-9) return i;
+  }
+  ESM_CHECK(false, "expansion " << expansion << " not in the space");
+  return 0;
+}
+
+std::size_t EncoderBase::expansion_count() const {
+  return spec_.expansion_options.empty() ? 1 : spec_.expansion_options.size();
+}
+
+// ---------------------------------------------------------------- one-hot
+
+OneHotEncoder::OneHotEncoder(SupernetSpec spec)
+    : EncoderBase(std::move(spec)) {}
+
+std::size_t OneHotEncoder::dimension() const {
+  const std::size_t depth_options = static_cast<std::size_t>(
+      spec_.max_blocks_per_unit - spec_.min_blocks_per_unit + 1);
+  const std::size_t per_slot =
+      spec_.kernel_options.size() +
+      (spec_.expansion_options.empty() ? 0 : spec_.expansion_options.size());
+  const std::size_t per_unit =
+      depth_options +
+      static_cast<std::size_t>(spec_.max_blocks_per_unit) * per_slot;
+  return per_unit * static_cast<std::size_t>(spec_.num_units);
+}
+
+std::vector<double> OneHotEncoder::encode(const ArchConfig& arch) const {
+  spec_.validate(arch);
+  std::vector<double> z(dimension(), 0.0);
+  const std::size_t depth_options = static_cast<std::size_t>(
+      spec_.max_blocks_per_unit - spec_.min_blocks_per_unit + 1);
+  const std::size_t kernels = spec_.kernel_options.size();
+  const std::size_t expansions =
+      spec_.expansion_options.empty() ? 0 : spec_.expansion_options.size();
+  const std::size_t per_slot = kernels + expansions;
+  const std::size_t per_unit =
+      depth_options +
+      static_cast<std::size_t>(spec_.max_blocks_per_unit) * per_slot;
+
+  for (std::size_t ui = 0; ui < arch.units.size(); ++ui) {
+    const UnitConfig& unit = arch.units[ui];
+    const std::size_t base = ui * per_unit;
+    z[base + static_cast<std::size_t>(unit.depth() -
+                                      spec_.min_blocks_per_unit)] = 1.0;
+    for (std::size_t bi = 0; bi < unit.blocks.size(); ++bi) {
+      const std::size_t slot = base + depth_options + bi * per_slot;
+      z[slot + kernel_index(unit.blocks[bi].kernel)] = 1.0;
+      if (expansions > 0) {
+        z[slot + kernels + expansion_index(unit.blocks[bi].expansion)] = 1.0;
+      }
+    }
+  }
+  return z;
+}
+
+// ---------------------------------------------------------------- feature
+
+FeatureEncoder::FeatureEncoder(SupernetSpec spec)
+    : EncoderBase(std::move(spec)) {}
+
+std::size_t FeatureEncoder::dimension() const {
+  const std::size_t features_per_block =
+      1 + (spec_.expansion_options.empty() ? 0 : 1);
+  const std::size_t per_unit =
+      1 + static_cast<std::size_t>(spec_.max_blocks_per_unit) *
+              features_per_block;
+  return per_unit * static_cast<std::size_t>(spec_.num_units);
+}
+
+std::vector<double> FeatureEncoder::encode(const ArchConfig& arch) const {
+  spec_.validate(arch);
+  std::vector<double> z(dimension(), 0.0);
+  const bool has_expansion = !spec_.expansion_options.empty();
+  const std::size_t features_per_block = has_expansion ? 2 : 1;
+  const std::size_t per_unit =
+      1 + static_cast<std::size_t>(spec_.max_blocks_per_unit) *
+              features_per_block;
+
+  for (std::size_t ui = 0; ui < arch.units.size(); ++ui) {
+    const UnitConfig& unit = arch.units[ui];
+    const std::size_t base = ui * per_unit;
+    z[base] = static_cast<double>(unit.depth());
+    for (std::size_t bi = 0; bi < unit.blocks.size(); ++bi) {
+      const std::size_t slot = base + 1 + bi * features_per_block;
+      z[slot] = static_cast<double>(unit.blocks[bi].kernel);
+      if (has_expansion) z[slot + 1] = unit.blocks[bi].expansion;
+    }
+  }
+  return z;
+}
+
+// ------------------------------------------------------------ statistical
+
+StatisticalEncoder::StatisticalEncoder(SupernetSpec spec)
+    : EncoderBase(std::move(spec)) {}
+
+std::size_t StatisticalEncoder::dimension() const {
+  if (spec_.kernel_per_unit) {
+    // Unit-level features are scalars, not lists to summarize: the unit
+    // segment is [depth, kernel].
+    return 2 * static_cast<std::size_t>(spec_.num_units);
+  }
+  const std::size_t features_per_block =
+      1 + (spec_.expansion_options.empty() ? 0 : 1);
+  return static_cast<std::size_t>(spec_.num_units) + 2 * features_per_block;
+}
+
+std::vector<double> StatisticalEncoder::encode(const ArchConfig& arch) const {
+  spec_.validate(arch);
+  std::vector<double> z(dimension(), 0.0);
+
+  if (spec_.kernel_per_unit) {
+    // DenseNet-style spaces: the kernel is a unit-level scalar feature, so
+    // the unit segment carries it directly (Fig. 7b concatenation).
+    for (std::size_t ui = 0; ui < arch.units.size(); ++ui) {
+      z[2 * ui] = static_cast<double>(arch.units[ui].depth());
+      z[2 * ui + 1] =
+          static_cast<double>(arch.units[ui].blocks.front().kernel);
+    }
+    return z;
+  }
+
+  // Block-level feature spaces: unit-level depth scalars...
+  const bool has_expansion = !spec_.expansion_options.empty();
+  std::vector<double> kernels, expansions;
+  for (std::size_t ui = 0; ui < arch.units.size(); ++ui) {
+    z[ui] = static_cast<double>(arch.units[ui].depth());
+    for (const BlockConfig& b : arch.units[ui].blocks) {
+      kernels.push_back(static_cast<double>(b.kernel));
+      if (has_expansion) expansions.push_back(b.expansion);
+    }
+  }
+  // ...plus summary mean/std of the block-feature lists ([11]-style).
+  const std::size_t base = arch.units.size();
+  z[base] = mean(kernels);
+  z[base + 1] = population_stddev(kernels);
+  if (has_expansion) {
+    z[base + 2] = mean(expansions);
+    z[base + 3] = population_stddev(expansions);
+  }
+  return z;
+}
+
+// ---------------------------------------------------------- feature count
+
+FeatureCountEncoder::FeatureCountEncoder(SupernetSpec spec)
+    : EncoderBase(std::move(spec)) {}
+
+std::size_t FeatureCountEncoder::dimension() const {
+  const std::size_t per_unit =
+      spec_.kernel_options.size() +
+      (spec_.expansion_options.empty() ? 0 : spec_.expansion_options.size());
+  return per_unit * static_cast<std::size_t>(spec_.num_units);
+}
+
+std::vector<double> FeatureCountEncoder::encode(const ArchConfig& arch) const {
+  spec_.validate(arch);
+  const std::size_t kernels = spec_.kernel_options.size();
+  const std::size_t expansions =
+      spec_.expansion_options.empty() ? 0 : spec_.expansion_options.size();
+  const std::size_t per_unit = kernels + expansions;
+  std::vector<double> z(dimension(), 0.0);
+
+  for (std::size_t ui = 0; ui < arch.units.size(); ++ui) {
+    const std::size_t base = ui * per_unit;
+    for (const BlockConfig& b : arch.units[ui].blocks) {
+      z[base + kernel_index(b.kernel)] += 1.0;
+      if (expansions > 0) {
+        z[base + kernels + expansion_index(b.expansion)] += 1.0;
+      }
+    }
+  }
+  return z;
+}
+
+// ------------------------------------------------------------------- FCC
+
+FccEncoder::FccEncoder(SupernetSpec spec) : EncoderBase(std::move(spec)) {}
+
+std::size_t FccEncoder::combinations() const {
+  return spec_.kernel_options.size() * expansion_count();
+}
+
+std::size_t FccEncoder::combination_index(const BlockConfig& block) const {
+  return kernel_index(block.kernel) * expansion_count() +
+         expansion_index(block.expansion);
+}
+
+std::size_t FccEncoder::dimension() const {
+  return combinations() * static_cast<std::size_t>(spec_.num_units);
+}
+
+std::vector<double> FccEncoder::encode(const ArchConfig& arch) const {
+  spec_.validate(arch);
+  const std::size_t per_unit = combinations();
+  std::vector<double> z(dimension(), 0.0);
+  for (std::size_t ui = 0; ui < arch.units.size(); ++ui) {
+    const std::size_t base = ui * per_unit;
+    for (const BlockConfig& b : arch.units[ui].blocks) {
+      z[base + combination_index(b)] += 1.0;
+    }
+  }
+  return z;
+}
+
+}  // namespace esm

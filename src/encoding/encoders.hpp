@@ -1,0 +1,94 @@
+// Concrete encoder implementations. See encoder.hpp for the scheme overview.
+#pragma once
+
+#include "encoding/encoder.hpp"
+
+namespace esm {
+
+/// Common base caching the spec and providing option-index lookups.
+class EncoderBase : public Encoder {
+ public:
+  explicit EncoderBase(SupernetSpec spec);
+
+  const SupernetSpec& spec() const final { return spec_; }
+
+ protected:
+  /// Index of `kernel` within the spec's kernel options (throws if unknown).
+  std::size_t kernel_index(int kernel) const;
+
+  /// Index of `expansion` within the spec's expansion options; spaces
+  /// without an expansion dimension always report index 0.
+  std::size_t expansion_index(double expansion) const;
+
+  /// Number of expansion options, at least 1 (for combination math).
+  std::size_t expansion_count() const;
+
+  SupernetSpec spec_;
+};
+
+/// Depth one-hot + per-slot kernel/expansion one-hots per unit.
+/// dim/unit = depth_options + max_blocks * (|K| + |E|).
+class OneHotEncoder final : public EncoderBase {
+ public:
+  explicit OneHotEncoder(SupernetSpec spec);
+  std::size_t dimension() const override;
+  std::vector<double> encode(const ArchConfig& arch) const override;
+  EncodingKind kind() const override { return EncodingKind::kOneHot; }
+};
+
+/// Depth scalar + per-slot raw feature values per unit (zero-padded).
+/// dim/unit = 1 + max_blocks * features_per_block.
+class FeatureEncoder final : public EncoderBase {
+ public:
+  explicit FeatureEncoder(SupernetSpec spec);
+  std::size_t dimension() const override;
+  std::vector<double> encode(const ArchConfig& arch) const override;
+  EncodingKind kind() const override { return EncodingKind::kFeature; }
+};
+
+/// HAT-style summary encoding (SoTA baseline [11]): per-unit depth scalars
+/// plus *model-global* mean/std of each block-level feature list.
+/// dim = num_units + 2 * features_per_block.
+/// Deliberately lossy on block-level spaces: it keeps the depth profile but
+/// collapses which unit (and which blocks) carry which kernel/expansion —
+/// the "overlapping representations" the paper's motivational study blames
+/// for the ResNet accuracy plateau. On spaces whose kernel is a unit-level
+/// scalar (DenseNet) there is no block list to summarize, so the unit
+/// segment is [depth, kernel] (dim = 2 * num_units) and the encoding stays
+/// informative — matching the paper's much higher DenseNet accuracy.
+class StatisticalEncoder final : public EncoderBase {
+ public:
+  explicit StatisticalEncoder(SupernetSpec spec);
+  std::size_t dimension() const override;
+  std::vector<double> encode(const ArchConfig& arch) const override;
+  EncodingKind kind() const override { return EncodingKind::kStatistical; }
+};
+
+/// Per-unit count of each individual feature value (proposed FC).
+/// dim/unit = |K| + |E|.
+class FeatureCountEncoder final : public EncoderBase {
+ public:
+  explicit FeatureCountEncoder(SupernetSpec spec);
+  std::size_t dimension() const override;
+  std::vector<double> encode(const ArchConfig& arch) const override;
+  EncodingKind kind() const override { return EncodingKind::kFeatureCount; }
+};
+
+/// Per-unit count of each (kernel, expansion) combination (proposed FCC).
+/// dim/unit = |K| * max(1, |E|). Preserves the exact multiset of block
+/// types within each unit — injective on unit block-multisets.
+class FccEncoder final : public EncoderBase {
+ public:
+  explicit FccEncoder(SupernetSpec spec);
+  std::size_t dimension() const override;
+  std::vector<double> encode(const ArchConfig& arch) const override;
+  EncodingKind kind() const override { return EncodingKind::kFcc; }
+
+  /// Flat combination index of a block's features (kernel-major).
+  std::size_t combination_index(const BlockConfig& block) const;
+
+  /// Number of combinations per unit segment.
+  std::size_t combinations() const;
+};
+
+}  // namespace esm

@@ -1,0 +1,52 @@
+// ESM framework configuration — the user inputs of paper §II-B, plus the
+// dataset-quality-control and loop-control knobs of §II-C/§II-E.
+#pragma once
+
+#include <cstdint>
+
+#include "encoding/encoder.hpp"
+#include "ml/trainer.hpp"
+#include "nets/sampler.hpp"
+#include "nets/supernet.hpp"
+
+namespace esm {
+
+/// Predictor evaluation strategy: aggregate accuracy, or every depth bin
+/// individually (paper input 7).
+enum class EvalStrategy { kOverall, kBinWise };
+
+const char* eval_strategy_name(EvalStrategy s);
+
+/// All user inputs of the ESM framework (paper Fig. 5, §II-B).
+struct EsmConfig {
+  SupernetSpec spec;                                   ///< architecture space
+  SamplingStrategy strategy = SamplingStrategy::kBalanced;  ///< input 1
+  EncodingKind encoding = EncodingKind::kFcc;          ///< input 6 (eta)
+  int n_initial = 300;                                 ///< input 3 (N_I)
+  int n_step = 100;                                    ///< input 4 (N_Step)
+  double w_below = 4.0;                                ///< input 5 (w1)
+  double w_above = 1.0;                                ///< input 5 (w2)
+  EvalStrategy eval_strategy = EvalStrategy::kBinWise; ///< input 7
+  int n_bins = 5;                                      ///< input 8 (N_Bins)
+  double acc_threshold = 0.95;                         ///< input 9 (Acc_TH)
+
+  // --- loop control ---
+  int max_iterations = 60;       ///< extension rounds before giving up
+  int n_test = 500;              ///< held-out balanced evaluation set size
+
+  // --- dataset quality control (paper §II-C.3, Fig. 6) ---
+  int n_reference_models = 8;    ///< reference models per measurement batch
+  double qc_variance_limit = 0.03;  ///< the paper's 3 % boundary
+  int qc_max_attempts = 6;       ///< re-measure attempts before accepting
+  int qc_baseline_sessions = 3;  ///< sessions used to establish baselines
+
+  // --- predictor training ---
+  TrainConfig train;             ///< paper defaults: 3x64 MLP, Adam 0.01/1e-4
+
+  std::uint64_t seed = 42;
+
+  /// Throws esm::ConfigError if any field is inconsistent.
+  void validate() const;
+};
+
+}  // namespace esm

@@ -1,0 +1,105 @@
+#include "esm/dataset_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "nets/sampler.hpp"
+
+namespace esm {
+
+DatasetGenerator::DatasetGenerator(const EsmConfig& config,
+                                   SimulatedDevice& device, Rng rng)
+    : config_(config), device_(&device), rng_(rng) {
+  config_.validate();
+
+  // Reference models are drawn randomly from the space (paper §II-C.2).
+  RandomSampler sampler(config_.spec);
+  references_ =
+      sampler.sample_n(static_cast<std::size_t>(config_.n_reference_models),
+                       rng_);
+  reference_graphs_.reserve(references_.size());
+  for (const ArchConfig& arch : references_) {
+    reference_graphs_.push_back(build_graph(config_.spec, arch));
+  }
+
+  // Establish per-reference baselines as the median over several sessions,
+  // so a single bad session cannot poison the baseline.
+  std::vector<std::vector<double>> sessions(references_.size());
+  for (int s = 0; s < config_.qc_baseline_sessions; ++s) {
+    device_->begin_session();
+    for (std::size_t i = 0; i < reference_graphs_.size(); ++i) {
+      sessions[i].push_back(device_->measure_ms(reference_graphs_[i]));
+    }
+  }
+  baselines_.reserve(references_.size());
+  for (const auto& values : sessions) {
+    baselines_.push_back(median(values));
+  }
+}
+
+std::vector<MeasuredSample> DatasetGenerator::run_session(
+    const std::vector<ArchConfig>& archs, QcReport& report) {
+  device_->begin_session();
+
+  // References measured first (canary), then the batch, then references
+  // again — drift growing *during* the batch is caught by the second pass.
+  std::vector<double> deviations;
+  auto measure_references = [&] {
+    for (std::size_t i = 0; i < reference_graphs_.size(); ++i) {
+      const double value = device_->measure_ms(reference_graphs_[i]);
+      deviations.push_back(std::abs(value - baselines_[i]) / baselines_[i]);
+    }
+  };
+
+  measure_references();
+  std::vector<MeasuredSample> samples;
+  samples.reserve(archs.size());
+  for (const ArchConfig& arch : archs) {
+    const LayerGraph graph = build_graph(config_.spec, arch);
+    samples.push_back({arch, device_->measure_ms(graph)});
+  }
+  measure_references();
+
+  // Outliers (Fig. 6): individual readings outside the boundary. They are
+  // excluded from the aggregate; QC fails when too many occur or the
+  // remaining aggregate still exceeds the boundary.
+  report.reference_deviation = deviations;
+  std::vector<double> in_tolerance;
+  for (double d : deviations) {
+    if (d <= config_.qc_variance_limit) {
+      in_tolerance.push_back(d);
+    } else {
+      ++report.outliers;
+    }
+  }
+  const double outlier_fraction =
+      deviations.empty()
+          ? 0.0
+          : static_cast<double>(report.outliers) /
+                static_cast<double>(deviations.size());
+  report.reference_cv = in_tolerance.empty()
+                            ? (deviations.empty() ? 0.0 : 1.0)
+                            : mean(in_tolerance);
+  report.passed = outlier_fraction <= 0.25 &&
+                  report.reference_cv <= config_.qc_variance_limit;
+  return samples;
+}
+
+std::vector<MeasuredSample> DatasetGenerator::measure_batch(
+    const std::vector<ArchConfig>& archs) {
+  QcReport report;
+  std::vector<MeasuredSample> samples;
+  for (int attempt = 1; attempt <= config_.qc_max_attempts; ++attempt) {
+    QcReport attempt_report;
+    samples = run_session(archs, attempt_report);
+    report = attempt_report;
+    report.attempts = attempt;
+    if (report.passed) break;
+  }
+  qc_history_.push_back(report);
+  return samples;
+}
+
+}  // namespace esm

@@ -1,0 +1,77 @@
+// Dataset generation with reference-model quality control (paper §II-C.3,
+// Fig. 6).
+//
+// Every measurement batch is executed in one device "session". Reference
+// models — architectures drawn once at construction and re-measured in every
+// batch — act as canaries: if a session's clocks drifted (thermal throttling,
+// background load), the reference latencies deviate from their established
+// baselines. A batch passes QC when the fraction of in-tolerance reference
+// measurements is high enough and their aggregate deviation stays under the
+// configured 3 % boundary; otherwise the whole batch is re-measured in a
+// fresh session. Outlier reference readings are recorded (Fig. 6's dots
+// outside the boundary) and excluded from the aggregate.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "esm/config.hpp"
+#include "hwsim/measurement.hpp"
+#include "nets/builder.hpp"
+
+namespace esm {
+
+/// One architecture with its measured latency.
+struct MeasuredSample {
+  ArchConfig arch;
+  double latency_ms = 0.0;
+};
+
+/// QC outcome of one measurement batch.
+struct QcReport {
+  int attempts = 0;              ///< sessions tried (1 = first passed)
+  bool passed = false;           ///< true if a session met the QC bound
+  double reference_cv = 0.0;     ///< aggregate relative deviation (last attempt)
+  std::vector<double> reference_deviation;  ///< per-reference |dev| (last attempt)
+  int outliers = 0;              ///< reference readings outside the boundary
+};
+
+/// Measures architecture batches on a device under reference-model QC.
+class DatasetGenerator {
+ public:
+  /// Draws the reference models and establishes their baseline latencies
+  /// over several sessions (median per reference).
+  DatasetGenerator(const EsmConfig& config, SimulatedDevice& device,
+                   Rng rng);
+
+  /// Measures every architecture in one QC-controlled session; re-measures
+  /// (new session) until QC passes or attempts run out, keeping the last
+  /// attempt in that case. Appends the QC outcome to qc_history().
+  std::vector<MeasuredSample> measure_batch(
+      const std::vector<ArchConfig>& archs);
+
+  const std::vector<ArchConfig>& reference_models() const {
+    return references_;
+  }
+  const std::vector<double>& reference_baselines() const {
+    return baselines_;
+  }
+  const std::vector<QcReport>& qc_history() const { return qc_history_; }
+
+  SimulatedDevice& device() { return *device_; }
+
+ private:
+  /// Runs one session: measures references + batch; fills `report`.
+  std::vector<MeasuredSample> run_session(
+      const std::vector<ArchConfig>& archs, QcReport& report);
+
+  EsmConfig config_;
+  SimulatedDevice* device_;  // non-owning
+  Rng rng_;
+  std::vector<ArchConfig> references_;
+  std::vector<LayerGraph> reference_graphs_;
+  std::vector<double> baselines_;
+  std::vector<QcReport> qc_history_;
+};
+
+}  // namespace esm

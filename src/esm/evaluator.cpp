@@ -1,0 +1,81 @@
+#include "esm/evaluator.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "ml/metrics.hpp"
+
+namespace esm {
+
+std::vector<int> EvalReport::bins_below() const {
+  std::vector<int> out;
+  for (const BinAccuracy& b : bins) {
+    if (b.count > 0 && b.below_threshold) out.push_back(b.bin);
+  }
+  return out;
+}
+
+std::vector<int> EvalReport::bins_above() const {
+  std::vector<int> out;
+  for (const BinAccuracy& b : bins) {
+    if (b.count > 0 && !b.below_threshold) out.push_back(b.bin);
+  }
+  return out;
+}
+
+bool EvalReport::passed(EvalStrategy strategy, double acc_threshold) const {
+  switch (strategy) {
+    case EvalStrategy::kOverall:
+      return overall_accuracy >= acc_threshold;
+    case EvalStrategy::kBinWise:
+      return bins_below().empty();
+  }
+  return false;
+}
+
+BinwiseEvaluator::BinwiseEvaluator(const SupernetSpec& spec, int n_bins,
+                                   double acc_threshold)
+    : bins_(spec, n_bins), acc_threshold_(acc_threshold) {}
+
+EvalReport BinwiseEvaluator::evaluate(
+    const LatencyPredictor& predictor,
+    std::span<const MeasuredSample> test_set) const {
+  ESM_REQUIRE(!test_set.empty(), "evaluation requires a test set");
+
+  EvalReport report;
+  report.bins.resize(static_cast<std::size_t>(bins_.size()));
+  std::vector<double> bin_acc_sum(static_cast<std::size_t>(bins_.size()), 0.0);
+  double overall_sum = 0.0;
+
+  for (const MeasuredSample& sample : test_set) {
+    const double predicted = predictor.predict_ms(sample.arch);
+    const double acc = sample_accuracy(predicted, sample.latency_ms);
+    overall_sum += acc;
+    const int bin = bins_.bin_of(sample.arch.total_blocks());
+    bin_acc_sum[static_cast<std::size_t>(bin)] += acc;
+    ++report.bins[static_cast<std::size_t>(bin)].count;
+  }
+
+  report.overall_accuracy =
+      overall_sum / static_cast<double>(test_set.size());
+  report.min_bin_accuracy = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < bins_.size(); ++i) {
+    BinAccuracy& b = report.bins[static_cast<std::size_t>(i)];
+    b.bin = i;
+    b.label = bins_.label(i);
+    if (b.count > 0) {
+      b.accuracy =
+          bin_acc_sum[static_cast<std::size_t>(i)] / static_cast<double>(b.count);
+      b.below_threshold = b.accuracy < acc_threshold_;
+      if (b.accuracy < report.min_bin_accuracy) {
+        report.min_bin_accuracy = b.accuracy;
+      }
+    }
+  }
+  if (report.min_bin_accuracy == std::numeric_limits<double>::infinity()) {
+    report.min_bin_accuracy = 0.0;
+  }
+  return report;
+}
+
+}  // namespace esm

@@ -1,0 +1,56 @@
+// Predictor evaluation (paper §II-D): overall accuracy plus per-depth-bin
+// accuracy against the user threshold Acc_TH. The extension algorithm uses
+// the per-bin pass/fail outcome to decide where to sample next.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "esm/config.hpp"
+#include "esm/dataset_gen.hpp"
+#include "nets/depth_bins.hpp"
+#include "surrogate/predictor.hpp"
+
+namespace esm {
+
+/// Accuracy of one depth bin.
+struct BinAccuracy {
+  int bin = 0;
+  std::string label;       ///< total-block range, e.g. "4-8"
+  std::size_t count = 0;   ///< test samples in the bin
+  double accuracy = 0.0;   ///< mean sample accuracy (0 when empty)
+  bool below_threshold = false;
+};
+
+/// Full evaluation outcome of one predictor on one test set.
+struct EvalReport {
+  double overall_accuracy = 0.0;
+  double min_bin_accuracy = 0.0;  ///< over non-empty bins
+  std::vector<BinAccuracy> bins;
+
+  /// Indices of non-empty bins below / at-or-above the threshold.
+  std::vector<int> bins_below() const;
+  std::vector<int> bins_above() const;
+
+  /// Pass/fail under the configured evaluation strategy.
+  bool passed(EvalStrategy strategy, double acc_threshold) const;
+};
+
+/// Evaluates a predictor bin-wise over measured test samples.
+class BinwiseEvaluator {
+ public:
+  BinwiseEvaluator(const SupernetSpec& spec, int n_bins,
+                   double acc_threshold);
+
+  EvalReport evaluate(const LatencyPredictor& predictor,
+                      std::span<const MeasuredSample> test_set) const;
+
+  const DepthBins& bins() const { return bins_; }
+
+ private:
+  DepthBins bins_;
+  double acc_threshold_;
+};
+
+}  // namespace esm

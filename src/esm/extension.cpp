@@ -1,0 +1,66 @@
+#include "esm/extension.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace esm {
+
+int ExtensionPlan::total() const {
+  int acc = 0;
+  for (int n : per_bin) acc += n;
+  return acc;
+}
+
+ExtensionPlan plan_balanced_extension(const EsmConfig& config,
+                                      const EvalReport& report) {
+  ESM_REQUIRE(static_cast<int>(report.bins.size()) == config.n_bins,
+              "evaluation report does not match N_Bins");
+  // Empty bins join the below-threshold group: the predictor has never been
+  // tested there, so they need coverage.
+  std::vector<bool> below(report.bins.size(), false);
+  int n_below = 0, n_above = 0;
+  for (const BinAccuracy& b : report.bins) {
+    const bool is_below = b.count == 0 || b.below_threshold;
+    below[static_cast<std::size_t>(b.bin)] = is_below;
+    if (is_below) ++n_below;
+    else ++n_above;
+  }
+
+  const double norm =
+      config.w_below * n_below + config.w_above * n_above;
+  ESM_CHECK(norm > 0.0, "no bins to extend into");
+  const double quota_below =
+      std::ceil(static_cast<double>(config.n_step) * config.w_below / norm);
+  const double quota_above =
+      std::ceil(static_cast<double>(config.n_step) * config.w_above / norm);
+
+  ExtensionPlan plan;
+  plan.per_bin.resize(report.bins.size(), 0);
+  for (std::size_t i = 0; i < report.bins.size(); ++i) {
+    plan.per_bin[i] =
+        static_cast<int>(below[i] ? quota_below : quota_above);
+  }
+  return plan;
+}
+
+std::vector<ArchConfig> extend_dataset(const EsmConfig& config,
+                                       const EvalReport& report, Rng& rng) {
+  if (config.strategy == SamplingStrategy::kRandom) {
+    RandomSampler sampler(config.spec);
+    return sampler.sample_n(static_cast<std::size_t>(config.n_step), rng);
+  }
+
+  const ExtensionPlan plan = plan_balanced_extension(config, report);
+  BalancedSampler sampler(config.spec, config.n_bins);
+  std::vector<ArchConfig> out;
+  out.reserve(static_cast<std::size_t>(plan.total()));
+  for (std::size_t bin = 0; bin < plan.per_bin.size(); ++bin) {
+    for (int i = 0; i < plan.per_bin[bin]; ++i) {
+      out.push_back(sampler.sample_in_bin(static_cast<int>(bin), rng));
+    }
+  }
+  return out;
+}
+
+}  // namespace esm

@@ -1,0 +1,40 @@
+// Dataset extension (paper Algorithm 1).
+//
+// When the predictor fails evaluation, the framework selects N_Step
+// additional architectures. Under the random strategy they are drawn
+// uniformly from the whole space. Under the balanced strategy the depth
+// bins are split into below-/above-threshold groups, per-bin quotas are
+// computed from the user weights
+//     N_norm   = w1 * |below| + w2 * |above|
+//     n_below  = ceil(N_Step * w1 / N_norm)   per below-threshold bin
+//     n_above  = ceil(N_Step * w2 / N_norm)   per above-threshold bin
+// and each bin is sampled with the exact-uniform balanced sampler, biasing
+// new data toward the regions where the predictor is weakest.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "esm/config.hpp"
+#include "esm/evaluator.hpp"
+#include "nets/sampler.hpp"
+
+namespace esm {
+
+/// Per-bin sample quotas computed by Algorithm 1 (balanced strategy).
+struct ExtensionPlan {
+  std::vector<int> per_bin;  ///< quota for every bin index
+  int total() const;
+};
+
+/// Computes the balanced-strategy quotas from an evaluation report.
+/// Bins with no test samples count as below-threshold (nothing is known
+/// about them, so they need data most).
+ExtensionPlan plan_balanced_extension(const EsmConfig& config,
+                                      const EvalReport& report);
+
+/// Draws the N_Step extension architectures per Algorithm 1.
+std::vector<ArchConfig> extend_dataset(const EsmConfig& config,
+                                       const EvalReport& report, Rng& rng);
+
+}  // namespace esm

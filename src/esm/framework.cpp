@@ -1,0 +1,98 @@
+#include "esm/framework.hpp"
+
+#include "common/error.hpp"
+#include "esm/extension.hpp"
+
+namespace esm {
+
+EsmFramework::EsmFramework(EsmConfig config, SimulatedDevice& device)
+    : config_(std::move(config)), device_(&device) {
+  config_.validate();
+}
+
+std::unique_ptr<MlpSurrogate> EsmFramework::make_predictor() const {
+  return std::make_unique<MlpSurrogate>(
+      make_encoder(config_.encoding, config_.spec), config_.train,
+      config_.seed ^ 0xe5717a7eull);
+}
+
+EsmResult EsmFramework::run() {
+  Rng rng(config_.seed);
+  DatasetGenerator generator(config_, *device_, rng.split());
+
+  EsmResult result;
+
+  // Held-out evaluation set: balanced so every depth bin is represented
+  // (an all-random test set would leave corner bins untested).
+  {
+    BalancedSampler test_sampler(config_.spec, config_.n_bins);
+    Rng test_rng = rng.split();
+    const std::vector<ArchConfig> test_archs = test_sampler.sample_n(
+        static_cast<std::size_t>(config_.n_test), test_rng);
+    result.test_set = generator.measure_batch(test_archs);
+  }
+
+  // Initial training set (input N_I) under the configured strategy.
+  Rng sample_rng = rng.split();
+  {
+    auto sampler =
+        make_sampler(config_.spec, config_.strategy, config_.n_bins);
+    const std::vector<ArchConfig> initial = sampler->sample_n(
+        static_cast<std::size_t>(config_.n_initial), sample_rng);
+    result.train_set = generator.measure_batch(initial);
+  }
+
+  const BinwiseEvaluator evaluator(config_.spec, config_.n_bins,
+                                   config_.acc_threshold);
+
+  double measured_cost_before = device_->measurement_cost_seconds();
+  for (int iteration = 1; iteration <= config_.max_iterations; ++iteration) {
+    // Train from scratch on the current dataset (the paper retrains after
+    // every extension).
+    auto predictor = make_predictor();
+    std::vector<ArchConfig> archs;
+    std::vector<double> latencies;
+    archs.reserve(result.train_set.size());
+    latencies.reserve(result.train_set.size());
+    for (const MeasuredSample& s : result.train_set) {
+      archs.push_back(s.arch);
+      latencies.push_back(s.latency_ms);
+    }
+    const TrainResult train = predictor->fit(archs, latencies);
+
+    IterationReport report;
+    report.iteration = iteration;
+    report.train_set_size = result.train_set.size();
+    report.train_seconds = train.train_seconds;
+    report.eval = evaluator.evaluate(*predictor, result.test_set);
+    report.passed =
+        report.eval.passed(config_.eval_strategy, config_.acc_threshold);
+    const double measured_cost_now = device_->measurement_cost_seconds();
+    report.measurement_seconds = measured_cost_now - measured_cost_before;
+    measured_cost_before = measured_cost_now;
+
+    result.total_train_seconds += report.train_seconds;
+    result.iterations.push_back(report);
+    result.predictor = std::move(predictor);
+
+    if (report.passed) {
+      result.converged = true;
+      break;
+    }
+    if (iteration == config_.max_iterations) break;
+
+    // Extend the dataset (Algorithm 1) and measure the new samples.
+    const std::vector<ArchConfig> extension =
+        extend_dataset(config_, report.eval, sample_rng);
+    const std::vector<MeasuredSample> extra =
+        generator.measure_batch(extension);
+    result.train_set.insert(result.train_set.end(), extra.begin(),
+                            extra.end());
+  }
+
+  result.final_train_set_size = result.train_set.size();
+  result.total_measurement_seconds = device_->measurement_cost_seconds();
+  return result;
+}
+
+}  // namespace esm

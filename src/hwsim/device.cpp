@@ -1,0 +1,143 @@
+#include "hwsim/device.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace esm {
+
+const char* device_class_name(DeviceClass c) {
+  switch (c) {
+    case DeviceClass::kGpu: return "GPU";
+    case DeviceClass::kCpu: return "CPU";
+    case DeviceClass::kEmbedded: return "embedded";
+  }
+  return "unknown";
+}
+
+DeviceSpec rtx4090_spec() {
+  DeviceSpec d;
+  d.name = "NVIDIA RTX 4090";
+  d.short_name = "rtx4090";
+  d.device_class = DeviceClass::kGpu;
+  d.peak_gflops = 82'580.0;   // 82.6 TFLOPs fp32
+  d.mem_bandwidth_gbs = 1008.0;
+  d.base_efficiency = 0.15;   // fp32 batch-1 conv kernels sit far below peak
+  d.launch_overhead_us = 2.5;
+  d.cache_mb = 72.0;
+  d.cache_hot_fraction = 0.85;
+  d.channel_granularity = 32;
+  d.occupancy_knee_mflops = 60.0;
+  d.algo_irregularity = 0.80;
+  d.run_noise_cv = 0.012;
+  d.outlier_prob = 0.015;
+  d.outlier_scale = 1.6;
+  d.warmup_amplitude = 0.25;
+  d.session_drift_cv = 0.005;
+  d.bad_session_prob = 0.08;
+  d.bad_session_drift_cv = 0.06;
+  d.weight_spill_factor = 3.0;
+  d.dvfs_ramp_penalty = 0.55;
+  d.dvfs_ramp_tau_ms = 1.5;
+  d.host_overhead_ms = 90.0;  // framework dispatch + sync per timed inference
+  return d;
+}
+
+DeviceSpec rtx3080_maxq_spec() {
+  DeviceSpec d;
+  d.name = "NVIDIA RTX 3080 Max-Q";
+  d.short_name = "rtx3080maxq";
+  d.device_class = DeviceClass::kGpu;
+  d.peak_gflops = 19'000.0;
+  d.mem_bandwidth_gbs = 448.0;
+  d.base_efficiency = 0.22;   // power limited, batch-1 fp32
+  d.launch_overhead_us = 4.5;
+  d.cache_mb = 4.0;
+  d.cache_hot_fraction = 0.7;
+  d.channel_granularity = 32;
+  d.occupancy_knee_mflops = 25.0;
+  d.algo_irregularity = 0.85;
+  d.run_noise_cv = 0.025;     // boost clocks bounce under power caps
+  d.outlier_prob = 0.03;
+  d.outlier_scale = 1.8;
+  d.warmup_amplitude = 0.35;
+  d.session_drift_cv = 0.012;
+  d.bad_session_prob = 0.12;  // thermal sessions are common on laptops
+  d.bad_session_drift_cv = 0.07;
+  d.weight_spill_factor = 3.5;
+  d.dvfs_ramp_penalty = 0.60;
+  d.dvfs_ramp_tau_ms = 1.2;
+  d.host_overhead_ms = 95.0;
+  return d;
+}
+
+DeviceSpec threadripper_5975wx_spec() {
+  DeviceSpec d;
+  d.name = "AMD Ryzen Threadripper 5975WX";
+  d.short_name = "threadripper";
+  d.device_class = DeviceClass::kCpu;
+  d.peak_gflops = 3'700.0;   // 32 cores x AVX2 FMA
+  d.mem_bandwidth_gbs = 160.0;
+  d.base_efficiency = 0.50;
+  d.launch_overhead_us = 0.6;  // op-dispatch in the inference runtime
+  d.cache_mb = 128.0;          // large L3
+  d.cache_hot_fraction = 0.9;
+  d.channel_granularity = 8;   // AVX2 lanes
+  d.occupancy_knee_mflops = 2.0;
+  d.algo_irregularity = 0.45;
+  d.run_noise_cv = 0.02;
+  d.outlier_prob = 0.02;       // OS scheduling hiccups
+  d.outlier_scale = 1.5;
+  d.warmup_amplitude = 0.15;
+  d.session_drift_cv = 0.008;
+  d.bad_session_prob = 0.06;
+  d.bad_session_drift_cv = 0.05;
+  d.weight_spill_factor = 2.0;
+  d.dvfs_ramp_penalty = 0.25;
+  d.dvfs_ramp_tau_ms = 5.0;
+  d.host_overhead_ms = 30.0;
+  return d;
+}
+
+DeviceSpec raspberry_pi4_spec() {
+  DeviceSpec d;
+  d.name = "Raspberry Pi 4";
+  d.short_name = "rpi4";
+  d.device_class = DeviceClass::kEmbedded;
+  d.peak_gflops = 48.0;       // 4 x Cortex-A72 @ 1.5 GHz, NEON
+  d.mem_bandwidth_gbs = 4.0;
+  d.base_efficiency = 0.5;
+  d.launch_overhead_us = 2.0;
+  d.cache_mb = 1.0;
+  d.cache_hot_fraction = 0.6;
+  d.channel_granularity = 4;   // NEON lanes
+  d.occupancy_knee_mflops = 0.5;
+  d.algo_irregularity = 0.05;  // plain NEON loops, no algorithm zoo
+  d.run_noise_cv = 0.03;
+  d.outlier_prob = 0.05;       // thermal throttling spikes
+  d.outlier_scale = 2.2;
+  d.warmup_amplitude = 0.2;
+  d.session_drift_cv = 0.012;
+  d.bad_session_prob = 0.15;
+  d.bad_session_drift_cv = 0.08;
+  d.weight_spill_factor = 1.5;
+  d.dvfs_ramp_penalty = 0.15;
+  d.dvfs_ramp_tau_ms = 400.0;
+  d.host_overhead_ms = 15.0;
+  return d;
+}
+
+std::vector<DeviceSpec> all_device_specs() {
+  return {rtx4090_spec(), threadripper_5975wx_spec(), rtx3080_maxq_spec(),
+          raspberry_pi4_spec()};
+}
+
+DeviceSpec device_by_name(const std::string& short_name) {
+  const std::string lower = to_lower(short_name);
+  for (const DeviceSpec& d : all_device_specs()) {
+    if (d.short_name == lower) return d;
+  }
+  throw ConfigError("unknown device: " + short_name +
+                    " (expected rtx4090, rtx3080maxq, threadripper, rpi4)");
+}
+
+}  // namespace esm

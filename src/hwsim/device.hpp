@@ -1,0 +1,93 @@
+// Simulated target devices.
+//
+// The paper measures latency on four physical devices (RTX 4090, RTX 3080
+// Max-Q, AMD Threadripper 5975WX, Raspberry Pi 4). This module replaces them
+// with calibrated analytical device specifications consumed by the roofline
+// latency model (latency_model.hpp) and the noisy measurement channel
+// (measurement.hpp). The specs are calibrated from public datasheet numbers
+// (peak FLOP/s, memory bandwidth, cache size, dispatch overhead) so that
+// relative behaviour — GPU launch-overhead sensitivity for deep many-kernel
+// nets, bandwidth limits on the Pi, thermal jitter on the power-limited
+// laptop GPU — matches the qualitative traits the paper's experiments rely
+// on. Absolute milliseconds are NOT claimed to match the authors' testbed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace esm {
+
+/// Broad device class, mirroring the paper's "GPU, CPU or embedded" input.
+enum class DeviceClass { kGpu, kCpu, kEmbedded };
+
+const char* device_class_name(DeviceClass c);
+
+/// Analytical description of one execution target.
+struct DeviceSpec {
+  std::string name;        ///< full marketing name
+  std::string short_name;  ///< key used on the command line ("rtx4090", ...)
+  DeviceClass device_class = DeviceClass::kGpu;
+
+  // --- roofline parameters ---
+  double peak_gflops = 0.0;        ///< fp32 peak compute
+  double mem_bandwidth_gbs = 0.0;  ///< sustainable DRAM bandwidth
+  double base_efficiency = 0.5;    ///< fraction of peak a large dense kernel hits
+  double launch_overhead_us = 0.0; ///< per-kernel dispatch / loop overhead
+  double cache_mb = 0.0;           ///< last-level cache visible to reuse
+  double cache_hot_fraction = 0.8; ///< fraction of a cache-resident input not re-fetched
+  int channel_granularity = 1;     ///< channel tiling width (warp/SIMD tail effects)
+  double occupancy_knee_mflops = 0.0; ///< kernel work (MFLOP) at 50 % utilization
+  /// Amplitude of shape-specific algorithm-selection cliffs. Kernel
+  /// libraries (cuDNN et al.) pick different algorithms per conv shape, so
+  /// per-shape efficiency is irregular rather than smooth; each distinct
+  /// (kind, kernel, stride, channels, resolution) shape gets a deterministic
+  /// efficiency in [1 - amplitude, 1]. Large on GPUs with rich kernel
+  /// libraries, small on simple embedded runtimes.
+  double algo_irregularity = 0.0;
+  /// DRAM inefficiency factor for streaming the weight working set that
+  /// exceeds the last-level cache in steady-state batch-1 inference.
+  /// Scattered weight tensors stream far below peak bandwidth, so the
+  /// spilled bytes are charged at bandwidth / weight_spill_factor. Networks
+  /// whose parameters fit in cache pay nothing (a kink that additive
+  /// per-layer lookup tables cannot see: a single probed layer always
+  /// fits).
+  double weight_spill_factor = 0.0;
+  /// DVFS ramp behaviour: clocks need time to boost, so an inference that
+  /// finishes within ~dvfs_ramp_tau_ms runs partly at unboosted clocks and
+  /// pays up to dvfs_ramp_penalty extra latency. The penalty decays
+  /// exponentially with the inference duration — a *corner-regime* effect
+  /// that shallow architectures exhibit and deep ones do not, which is why
+  /// depth-balanced sampling matters (paper Fig. 11).
+  double dvfs_ramp_penalty = 0.0;
+  double dvfs_ramp_tau_ms = 1.0;
+
+  // --- measurement-channel parameters ---
+  double run_noise_cv = 0.01;      ///< per-run multiplicative noise (clock jitter)
+  double outlier_prob = 0.0;       ///< probability a run is an outlier spike
+  double outlier_scale = 1.5;      ///< multiplicative size of an outlier spike
+  double warmup_amplitude = 0.1;   ///< extra slowdown on the first runs
+  double session_drift_cv = 0.01;  ///< per-session multiplicative offset
+  double bad_session_prob = 0.0;   ///< probability a session drifts badly
+  double bad_session_drift_cv = 0.06; ///< drift spread in a bad session
+  double host_overhead_ms = 0.0;   ///< per-run host-side cost (framework, sync)
+};
+
+/// NVIDIA RTX 4090 (desktop GPU; the paper's primary device).
+DeviceSpec rtx4090_spec();
+
+/// NVIDIA RTX 3080 Max-Q (power-limited laptop GPU; noisier clocks).
+DeviceSpec rtx3080_maxq_spec();
+
+/// AMD Ryzen Threadripper 5975WX (32-core workstation CPU).
+DeviceSpec threadripper_5975wx_spec();
+
+/// Raspberry Pi 4 (embedded quad-A72; bandwidth-starved, throttles).
+DeviceSpec raspberry_pi4_spec();
+
+/// All four paper devices, in the paper's order.
+std::vector<DeviceSpec> all_device_specs();
+
+/// Looks a device up by short_name (case-insensitive); throws ConfigError.
+DeviceSpec device_by_name(const std::string& short_name);
+
+}  // namespace esm

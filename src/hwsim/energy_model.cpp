@@ -1,0 +1,84 @@
+#include "hwsim/energy_model.hpp"
+
+#include "common/error.hpp"
+
+namespace esm {
+
+PowerEnvelope energy_envelope_for(const DeviceSpec& device) {
+  PowerEnvelope e;
+  if (device.short_name == "rtx4090") {
+    e.board_power_w = 450.0;
+    e.idle_power_w = 22.0;
+  } else if (device.short_name == "rtx3080maxq") {
+    e.board_power_w = 90.0;  // Max-Q power cap
+    e.idle_power_w = 9.0;
+  } else if (device.short_name == "threadripper") {
+    e.board_power_w = 280.0;
+    e.idle_power_w = 45.0;
+  } else if (device.short_name == "rpi4") {
+    e.board_power_w = 7.0;
+    e.idle_power_w = 2.7;
+    e.memory_activity = 0.6;  // LPDDR4 traffic dominates the tiny SoC
+  } else {
+    // Unknown device: a generic 100 W accelerator envelope.
+    e.board_power_w = 100.0;
+    e.idle_power_w = 10.0;
+  }
+  return e;
+}
+
+EnergyModel::EnergyModel(DeviceSpec device)
+    : EnergyModel(device, energy_envelope_for(device)) {}
+
+EnergyModel::EnergyModel(DeviceSpec device, PowerEnvelope envelope)
+    : latency_(std::move(device)), envelope_(envelope) {
+  ESM_REQUIRE(envelope_.board_power_w > envelope_.idle_power_w &&
+                  envelope_.idle_power_w >= 0.0,
+              "power envelope requires board > idle >= 0");
+  ESM_REQUIRE(envelope_.memory_activity > 0.0 &&
+                  envelope_.memory_activity <= 1.0,
+              "memory_activity must be in (0, 1]");
+}
+
+double EnergyModel::true_energy_mj(const LayerGraph& graph) const {
+  const double dynamic_range =
+      envelope_.board_power_w - envelope_.idle_power_w;
+  double energy_mj = 0.0;
+  double total_ms = 0.0;
+  const std::vector<LayerCost> costs = latency_.analyze(graph);
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    const LayerCost& cost = costs[i];
+    const double t_ms = cost.total_ms();
+    if (t_ms <= 0.0) continue;
+    total_ms += t_ms;
+    // Activity: compute-bound time draws dynamic power proportional to how
+    // much of the device the kernel occupies (a tiny dispatch-bound kernel
+    // barely moves the rails); memory-bound time draws the memory-system
+    // fraction; dispatch overhead draws almost nothing (excluded from the
+    // busy window below).
+    const double busy_ms =
+        cost.compute_ms > cost.memory_ms ? cost.compute_ms : cost.memory_ms;
+    const double busy_fraction = busy_ms > 0.0 ? busy_ms / t_ms : 0.0;
+    const double activity =
+        cost.compute_ms >= cost.memory_ms
+            ? 0.15 + 0.85 * latency_.utilization(graph[i])
+            : envelope_.memory_activity;
+    // P * t: watts * ms == millijoules.
+    energy_mj += dynamic_range * activity * busy_fraction * t_ms;
+  }
+  // Weight streaming is memory activity.
+  const double spill_ms = latency_.weight_spill_ms(graph);
+  energy_mj += dynamic_range * envelope_.memory_activity * spill_ms;
+  total_ms += spill_ms;
+  // Idle rail draw for the whole duration.
+  energy_mj += envelope_.idle_power_w * total_ms;
+  return energy_mj;
+}
+
+double EnergyModel::average_power_w(const LayerGraph& graph) const {
+  const double t_ms = latency_.true_latency_ms(graph);
+  if (t_ms <= 0.0) return envelope_.idle_power_w;
+  return true_energy_mj(graph) / t_ms;  // mJ / ms == W
+}
+
+}  // namespace esm

@@ -1,0 +1,58 @@
+// Inference energy model (the paper's other performance characteristic:
+// "performance characteristics (e.g., inference latency and energy
+// consumption)", §Abstract/§I).
+//
+// Energy is integrated power over the execution timeline produced by the
+// latency model:
+//
+//   E = sum_layers P_active(layer) * t(layer)  +  P_idle * t_total
+//
+// where a layer's active power scales between the device's idle draw and
+// its board power with the layer's utilization (compute-bound kernels pull
+// near-peak power; memory-bound and dispatch-dominated phases much less).
+// The same measurement channel (sessions, jitter, outliers) applies, so
+// energy datasets need the identical trimmed-mean + QC treatment and the
+// same surrogates work unchanged — the ESM pipeline is metric-agnostic.
+#pragma once
+
+#include <vector>
+
+#include "hwsim/latency_model.hpp"
+
+namespace esm {
+
+/// Power envelope of a device (defaults are filled per device in
+/// energy_envelope_for()).
+struct PowerEnvelope {
+  double board_power_w = 0.0;  ///< sustained power at full utilization
+  double idle_power_w = 0.0;   ///< rail draw while the device idles
+  /// Fraction of (board - idle) drawn by a purely memory-bound phase.
+  double memory_activity = 0.45;
+};
+
+/// The calibrated power envelope of one of the four paper devices.
+PowerEnvelope energy_envelope_for(const DeviceSpec& device);
+
+/// Deterministic per-inference energy model layered on LatencyModel.
+class EnergyModel {
+ public:
+  /// Uses the device's default envelope.
+  explicit EnergyModel(DeviceSpec device);
+
+  EnergyModel(DeviceSpec device, PowerEnvelope envelope);
+
+  const LatencyModel& latency_model() const { return latency_; }
+  const PowerEnvelope& envelope() const { return envelope_; }
+
+  /// Noise-free energy of one inference in millijoules.
+  double true_energy_mj(const LayerGraph& graph) const;
+
+  /// Average power over one inference in watts.
+  double average_power_w(const LayerGraph& graph) const;
+
+ private:
+  LatencyModel latency_;
+  PowerEnvelope envelope_;
+};
+
+}  // namespace esm

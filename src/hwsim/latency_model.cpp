@@ -1,0 +1,209 @@
+#include "hwsim/latency_model.hpp"
+#include <cstdint>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace esm {
+
+LatencyModel::LatencyModel(DeviceSpec spec) : spec_(std::move(spec)) {
+  ESM_REQUIRE(spec_.peak_gflops > 0.0, "device peak_gflops must be positive");
+  ESM_REQUIRE(spec_.mem_bandwidth_gbs > 0.0,
+              "device mem_bandwidth_gbs must be positive");
+  ESM_REQUIRE(spec_.base_efficiency > 0.0 && spec_.base_efficiency <= 1.0,
+              "device base_efficiency must be in (0, 1]");
+  ESM_REQUIRE(spec_.channel_granularity >= 1,
+              "channel_granularity must be >= 1");
+}
+
+bool LatencyModel::is_elementwise(LayerKind kind) {
+  return kind == LayerKind::kBatchNorm || kind == LayerKind::kRelu ||
+         kind == LayerKind::kHSwish;
+}
+
+bool LatencyModel::can_anchor_fusion(LayerKind kind) {
+  return kind == LayerKind::kConv2d || kind == LayerKind::kDepthwiseConv ||
+         kind == LayerKind::kFullyConnected || kind == LayerKind::kAdd;
+}
+
+double LatencyModel::tail_efficiency(int channels) const {
+  const int g = spec_.channel_granularity;
+  if (g <= 1) return 1.0;
+  const int padded = (channels + g - 1) / g * g;
+  return static_cast<double>(channels) / static_cast<double>(padded);
+}
+
+double LatencyModel::utilization(const Layer& layer) const {
+  // Occupancy saturates with per-kernel work; tiny kernels cannot fill the
+  // device. Knee is expressed in MFLOPs.
+  const double mflops = layer.flops() / 1e6;
+  const double knee = spec_.occupancy_knee_mflops;
+  const double occupancy = knee > 0.0 ? mflops / (mflops + knee) : 1.0;
+  // Channel-tail quantization on both operand widths of the kernel.
+  const double tail =
+      0.5 * (tail_efficiency(layer.input.channels) +
+             tail_efficiency(layer.output.channels));
+  return std::max(0.02, occupancy * tail);
+}
+
+double LatencyModel::algorithm_efficiency(const Layer& layer) const {
+  // Kernel libraries select different algorithms per conv/FC shape
+  // (Winograd vs implicit GEMM vs FFT, tiling variants, ...), so per-shape
+  // efficiency is irregular, not smooth, in the shape parameters. We model
+  // it as a deterministic hash of the shape key into [1 - amplitude, 1],
+  // decorrelated across devices by hashing the device name in. This is the
+  // behaviour that makes joint (kernel, expansion) combination counts
+  // (FCC) informative where marginal moments (statistical encoding) fail.
+  const double amplitude = spec_.algo_irregularity;
+  if (amplitude <= 0.0) return 1.0;
+  if (layer.kind != LayerKind::kConv2d &&
+      layer.kind != LayerKind::kDepthwiseConv &&
+      layer.kind != LayerKind::kFullyConnected) {
+    return 1.0;
+  }
+  // FNV-1a over the shape key, platform-stable.
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (char c : spec_.short_name) mix(static_cast<std::uint64_t>(c));
+  // The key covers operator identity and operand widths; stride/resolution
+  // variants of the same operator reuse the same algorithm choice.
+  mix(static_cast<std::uint64_t>(layer.kind));
+  mix(static_cast<std::uint64_t>(layer.kernel));
+  mix(static_cast<std::uint64_t>(layer.groups));
+  mix(static_cast<std::uint64_t>(layer.input.channels));
+  mix(static_cast<std::uint64_t>(layer.output.channels));
+  const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return 1.0 - amplitude * unit;
+}
+
+double LatencyModel::dvfs_sensitivity(const Layer& layer) const {
+  // How strongly a kernel suffers from unboosted clocks. Like algorithm
+  // selection, this is shape-specific and irregular in practice (some
+  // kernels are latency-bound and track core clocks 1:1, others hide the
+  // clock deficit behind memory); a deterministic hash in [0, 1] keyed on
+  // the shape (with a different salt than the algorithm draw).
+  std::uint64_t h = 0x51ce5ab1e0ddba11ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (char c : spec_.short_name) mix(static_cast<std::uint64_t>(c));
+  mix(static_cast<std::uint64_t>(layer.kind));
+  mix(static_cast<std::uint64_t>(layer.kernel));
+  mix(static_cast<std::uint64_t>(layer.input.channels));
+  mix(static_cast<std::uint64_t>(layer.output.channels));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double LatencyModel::compute_ms(const Layer& layer) const {
+  const double flops = layer.flops();
+  if (flops <= 0.0) return 0.0;
+  const double eff = spec_.base_efficiency * utilization(layer) *
+                     algorithm_efficiency(layer);
+  const double gflops_per_ms = spec_.peak_gflops * eff * 1e6;  // FLOP per ms
+  return flops / gflops_per_ms;
+}
+
+double LatencyModel::memory_ms(const Layer& layer, const Layer* prev) const {
+  double read_bytes = layer.read_bytes();
+  // Cache residency: when this layer consumes the tensor the previous kernel
+  // just produced, and that tensor fits in the last-level cache, most of it
+  // is served without touching DRAM.
+  if (prev != nullptr && prev->output == layer.input) {
+    const double input_bytes =
+        static_cast<double>(layer.input.elements()) * 4.0;
+    const double cache_bytes = spec_.cache_mb * 1024.0 * 1024.0;
+    if (input_bytes <= cache_bytes) {
+      read_bytes -= spec_.cache_hot_fraction * input_bytes;
+    }
+  }
+  const double total_bytes = read_bytes + layer.write_bytes();
+  const double bytes_per_ms = spec_.mem_bandwidth_gbs * 1e6;  // bytes per ms
+  return total_bytes / bytes_per_ms;
+}
+
+LayerCost LatencyModel::layer_cost(const Layer& layer,
+                                   const Layer* prev) const {
+  LayerCost cost;
+  cost.compute_ms = compute_ms(layer);
+  cost.memory_ms = memory_ms(layer, prev);
+  cost.overhead_ms = spec_.launch_overhead_us / 1000.0;
+  return cost;
+}
+
+std::vector<LayerCost> LatencyModel::analyze(const LayerGraph& graph) const {
+  std::vector<LayerCost> costs;
+  costs.reserve(graph.size());
+  // Fusion state: true while the current run of element-wise layers can be
+  // folded into the most recent anchor kernel.
+  bool fusion_open = false;
+  const Layer* prev = nullptr;
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const Layer& layer = graph[i];
+    LayerCost cost = layer_cost(layer, prev);
+    if (is_elementwise(layer.kind) && fusion_open) {
+      cost.fused = true;  // epilogue of the preceding kernel
+    } else {
+      fusion_open = can_anchor_fusion(layer.kind);
+    }
+    costs.push_back(cost);
+    prev = &layer;
+  }
+  return costs;
+}
+
+double LatencyModel::weight_spill_ms(const LayerGraph& graph) const {
+  if (spec_.weight_spill_factor <= 0.0) return 0.0;
+  // Steady-state weight working set. The algorithm chosen for a layer
+  // determines its weight layout footprint: transform-based convolutions
+  // (Winograd / FFT) store pre-transformed filter copies 1-3x the nominal
+  // size, tiled layouts pad. The footprint multiplier is keyed off the same
+  // per-shape algorithm hash as compute efficiency (fast algorithms trade
+  // memory for time), which makes the working set — and hence the spill
+  // penalty — depend on the *joint* (kernel, expansion) combination of
+  // every block, not on marginal feature statistics.
+  double working_set_bytes = 0.0;
+  for (const Layer& layer : graph.layers()) {
+    const double params = layer.params();
+    if (params <= 0.0) continue;
+    // Reuse the algorithm draw: more aggressive algorithms (lower
+    // efficiency loss) carry larger layout footprints.
+    const double algo = algorithm_efficiency(layer);  // in [1 - a, 1]
+    const double layout_factor = 1.0 + 5.0 * algo * algo;
+    working_set_bytes += params * 4.0 * layout_factor;
+  }
+  const double cache_bytes = spec_.cache_mb * 1024.0 * 1024.0;
+  const double excess = working_set_bytes - cache_bytes;
+  if (excess <= 0.0) return 0.0;
+  const double bytes_per_ms = spec_.mem_bandwidth_gbs * 1e6;
+  return excess * spec_.weight_spill_factor / bytes_per_ms;
+}
+
+double LatencyModel::true_latency_ms(const LayerGraph& graph) const {
+  const double spill = weight_spill_ms(graph);
+  const std::vector<LayerCost> costs = analyze(graph);
+  double base = spill;
+  for (const LayerCost& cost : costs) base += cost.total_ms();
+  if (spec_.dvfs_ramp_penalty <= 0.0) return base;
+  // DVFS ramp: an inference that finishes within ~tau runs partly at
+  // unboosted clocks. The slowdown is per-kernel and shape-irregular (some
+  // kernels track core clocks 1:1, others hide the deficit), so the
+  // shallow-network regime is NOT a smooth extrapolation of the deep
+  // regime — a latency predictor must see shallow samples to learn it
+  // (the corner bins of paper Fig. 11). base*(1 + a*exp(-base/tau)) is
+  // monotone in base for a < 2.3, so extra work never speeds a net up.
+  const double ramp = std::exp(-base / spec_.dvfs_ramp_tau_ms);
+  double extra = spill * spec_.dvfs_ramp_penalty * 0.5 * ramp;
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    extra += costs[i].total_ms() * spec_.dvfs_ramp_penalty *
+             dvfs_sensitivity(graph[i]) * ramp;
+  }
+  return base + extra;
+}
+
+}  // namespace esm

@@ -1,0 +1,83 @@
+// Deterministic roofline latency model.
+//
+// Computes the noise-free "true" latency of a layer graph on a device:
+//
+//   t(layer) = max(compute_time, memory_time) + launch_overhead
+//
+// with three deliberate non-linearities that make whole-network latency
+// NON-additive over blocks measured in isolation (this is what the paper's
+// lookup-table baseline misses, and what joint-feature encodings capture):
+//
+//   1. Kernel fusion — batch-norm / activation layers following a conv, FC
+//      or add execute as fused epilogues (no dispatch, no extra traffic).
+//   2. Cache residency — a layer whose input was just produced and fits in
+//      the last-level cache re-fetches only a fraction of it from DRAM, so
+//      a block's cost depends on its *predecessor*, not only on itself.
+//   3. Utilization — small kernels underutilize the device (occupancy knee)
+//      and channel counts that are not multiples of the tile granularity
+//      pay a tail-quantization penalty, so the cost of (kernel, expansion)
+//      combinations is not the product of per-feature costs.
+#pragma once
+
+#include <vector>
+
+#include "hwsim/device.hpp"
+#include "nn/graph.hpp"
+
+namespace esm {
+
+/// Per-layer cost breakdown returned by LatencyModel::analyze.
+struct LayerCost {
+  double compute_ms = 0.0;
+  double memory_ms = 0.0;
+  double overhead_ms = 0.0;
+  bool fused = false;  ///< folded into the previous kernel's epilogue
+
+  double total_ms() const {
+    if (fused) return 0.0;
+    return (compute_ms > memory_ms ? compute_ms : memory_ms) + overhead_ms;
+  }
+};
+
+/// Deterministic analytical latency model for one device.
+class LatencyModel {
+ public:
+  explicit LatencyModel(DeviceSpec spec);
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Noise-free end-to-end latency of the graph in milliseconds:
+  /// the sum of per-layer costs plus the graph-level weight-spill penalty.
+  double true_latency_ms(const LayerGraph& graph) const;
+
+  /// Per-layer cost breakdown (same order as graph.layers()).
+  std::vector<LayerCost> analyze(const LayerGraph& graph) const;
+
+  /// Graph-level penalty for streaming the part of the weight working set
+  /// that exceeds the last-level cache on every inference (a fourth
+  /// non-linearity: it depends on the *total* parameter footprint, so it is
+  /// invisible to any additive per-layer model).
+  double weight_spill_ms(const LayerGraph& graph) const;
+
+  /// Cost of one layer given its predecessor (nullptr = cold start). Public
+  /// so the lookup-table profiler can cost blocks in isolation.
+  LayerCost layer_cost(const Layer& layer, const Layer* prev) const;
+
+  /// Fraction of the device the layer keeps busy (occupancy x tail
+  /// quantization). Public so the energy model can scale dynamic power
+  /// with it.
+  double utilization(const Layer& layer) const;
+
+ private:
+  double compute_ms(const Layer& layer) const;
+  double memory_ms(const Layer& layer, const Layer* prev) const;
+  double tail_efficiency(int channels) const;
+  double algorithm_efficiency(const Layer& layer) const;
+  double dvfs_sensitivity(const Layer& layer) const;
+  static bool is_elementwise(LayerKind kind);
+  static bool can_anchor_fusion(LayerKind kind);
+
+  DeviceSpec spec_;
+};
+
+}  // namespace esm

@@ -1,0 +1,107 @@
+#include "hwsim/measurement.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace esm {
+
+SimulatedDevice::SimulatedDevice(DeviceSpec spec, std::uint64_t seed,
+                                 MeasurementProtocol protocol)
+    : model_(spec), energy_(spec), protocol_(protocol), rng_(seed) {
+  ESM_REQUIRE(protocol_.runs >= 1, "measurement protocol needs >= 1 run");
+  ESM_REQUIRE(protocol_.trim_fraction >= 0.0 && protocol_.trim_fraction < 0.5,
+              "trim_fraction must be in [0, 0.5)");
+  begin_session();
+}
+
+double SimulatedDevice::true_latency_ms(const LayerGraph& graph) const {
+  return model_.true_latency_ms(graph);
+}
+
+double SimulatedDevice::true_energy_mj(const LayerGraph& graph) const {
+  return energy_.true_energy_mj(graph);
+}
+
+void SimulatedDevice::begin_session() {
+  const DeviceSpec& d = spec();
+  session_is_bad_ = rng_.bernoulli(d.bad_session_prob);
+  const double drift_cv =
+      session_is_bad_ ? d.bad_session_drift_cv : d.session_drift_cv;
+  // Drift is a sustained multiplicative offset; bad sessions are slow
+  // (throttled), so their offset is one-sided.
+  const double offset = rng_.normal(0.0, drift_cv);
+  session_factor_ = 1.0 + (session_is_bad_ ? std::abs(offset) : offset);
+  // Clocks hunt around the session set point: a mean-reverting
+  // (Ornstein-Uhlenbeck) deviation, much wider in bad sessions.
+  walk_sigma_ = session_is_bad_ ? 0.0030 : 0.0006;
+  walk_deviation_ = 0.0;
+}
+
+double SimulatedDevice::one_run_ms(double true_ms, int run_index) {
+  const DeviceSpec& d = spec();
+  // Mean-reverting intra-session clock deviation (stationary std is about
+  // 10x walk_sigma_ at this reversion rate, i.e. ~0.6 % in good sessions).
+  walk_deviation_ =
+      0.995 * walk_deviation_ + rng_.normal(0.0, walk_sigma_);
+  double value = true_ms * session_factor_ * (1.0 + walk_deviation_);
+  // Warm-up: caches/JIT settle over the first few runs.
+  if (run_index < 3) {
+    value *= 1.0 + d.warmup_amplitude * std::exp(-run_index);
+  }
+  // Per-run clock jitter.
+  value *= 1.0 + rng_.normal(0.0, d.run_noise_cv);
+  // Occasional outlier spike (scheduler preemption, throttle event).
+  if (rng_.bernoulli(d.outlier_prob)) {
+    value *= d.outlier_scale * (1.0 + 0.5 * rng_.uniform());
+  }
+  return std::max(value, 1e-6);
+}
+
+std::vector<double> SimulatedDevice::measure_trace_ms(
+    const LayerGraph& graph) {
+  const double true_ms = model_.true_latency_ms(graph);
+  const DeviceSpec& d = spec();
+  // Warm-up inferences cost time but produce no samples.
+  for (int i = 0; i < protocol_.warmup_runs; ++i) {
+    cost_seconds_ += (true_ms + d.host_overhead_ms) / 1000.0;
+  }
+  std::vector<double> trace;
+  trace.reserve(static_cast<std::size_t>(protocol_.runs));
+  for (int i = 0; i < protocol_.runs; ++i) {
+    const double run = one_run_ms(true_ms, i);
+    trace.push_back(run);
+    cost_seconds_ += (run + d.host_overhead_ms) / 1000.0;
+  }
+  return trace;
+}
+
+double SimulatedDevice::summarize(const std::vector<double>& trace,
+                                  double trim_fraction) {
+  return trimmed_mean(trace, trim_fraction);
+}
+
+double SimulatedDevice::measure_ms(const LayerGraph& graph) {
+  return summarize(measure_trace_ms(graph), protocol_.trim_fraction);
+}
+
+double SimulatedDevice::measure_energy_mj(const LayerGraph& graph) {
+  const double true_mj = energy_.true_energy_mj(graph);
+  const double true_ms = model_.true_latency_ms(graph);
+  const DeviceSpec& d = spec();
+  for (int i = 0; i < protocol_.warmup_runs; ++i) {
+    cost_seconds_ += (true_ms + d.host_overhead_ms) / 1000.0;
+  }
+  std::vector<double> trace;
+  trace.reserve(static_cast<std::size_t>(protocol_.runs));
+  for (int i = 0; i < protocol_.runs; ++i) {
+    // Energy readings ride the same clock/thermal channel: a slow run draws
+    // for longer, so the multiplicative noise model carries over.
+    trace.push_back(one_run_ms(true_mj, i));
+    cost_seconds_ += (true_ms + d.host_overhead_ms) / 1000.0;
+  }
+  return summarize(trace, protocol_.trim_fraction);
+}
+
+}  // namespace esm

@@ -1,0 +1,96 @@
+// Noisy measurement channel over the deterministic latency model.
+//
+// Reproduces the paper's measurement methodology (§II-C.3, Fig. 4b, Fig. 6):
+// each latency value is obtained by running the model `runs` times (default
+// 150), discarding the slowest and fastest `trim_fraction` (default 20 %)
+// and averaging the middle 60 %. Individual runs are perturbed by clock
+// jitter, warm-up slowdown, occasional outlier spikes, and a slowly drifting
+// session factor; sessions occasionally go "bad" (sustained thermal/clock
+// drift), which is what the reference-model quality-control step detects.
+//
+// The device also accounts the *simulated wall-clock cost* of measuring
+// (per-run latency + host-side overhead), which powers the paper's
+// data-acquisition-cost analysis (Fig. 4a).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hwsim/energy_model.hpp"
+#include "hwsim/latency_model.hpp"
+#include "nn/graph.hpp"
+
+namespace esm {
+
+/// The paper's measurement protocol parameters.
+struct MeasurementProtocol {
+  int runs = 150;              ///< timed inferences per latency value
+  double trim_fraction = 0.2;  ///< fraction discarded at each extreme
+  int warmup_runs = 5;         ///< untimed warm-up inferences per model
+};
+
+/// A device under measurement: deterministic model + stochastic channel.
+class SimulatedDevice {
+ public:
+  /// Binds a device spec and protocol to a seeded noise stream.
+  SimulatedDevice(DeviceSpec spec, std::uint64_t seed,
+                  MeasurementProtocol protocol = {});
+
+  const DeviceSpec& spec() const { return model_.spec(); }
+  const MeasurementProtocol& protocol() const { return protocol_; }
+  const LatencyModel& model() const { return model_; }
+
+  /// Noise-free latency (what a perfect oracle would report).
+  double true_latency_ms(const LayerGraph& graph) const;
+
+  /// Noise-free per-inference energy in millijoules.
+  double true_energy_mj(const LayerGraph& graph) const;
+
+  /// Starts a new measurement session: draws a fresh session drift factor
+  /// (occasionally a "bad" one) and resets the intra-session random walk.
+  void begin_session();
+
+  /// True if the current session drew the pathological drift regime. The
+  /// QC step must *discover* this through reference models; it is exposed
+  /// for tests and diagnostics only.
+  bool session_is_bad() const { return session_is_bad_; }
+
+  /// Simulates one full measurement of the graph: warm-up + `runs` timed
+  /// inferences, returning the trimmed mean (the paper's latency value).
+  double measure_ms(const LayerGraph& graph);
+
+  /// Per-run latency trace (used for Fig. 4b); advances the session state
+  /// and cost accounting exactly like measure_ms.
+  std::vector<double> measure_trace_ms(const LayerGraph& graph);
+
+  /// Simulates a power-logger measurement of per-inference energy: the
+  /// same warm-up + runs + trimmed-mean protocol and the same noise
+  /// channel, applied to the energy model's reading.
+  double measure_energy_mj(const LayerGraph& graph);
+
+  /// Simulated seconds spent measuring so far (device + host overhead).
+  double measurement_cost_seconds() const { return cost_seconds_; }
+
+  /// Resets the cost accumulator (e.g. between experiment phases).
+  void reset_measurement_cost() { cost_seconds_ = 0.0; }
+
+  /// Applies the trimmed-mean protocol to a raw trace.
+  static double summarize(const std::vector<double>& trace,
+                          double trim_fraction);
+
+ private:
+  double one_run_ms(double true_ms, int run_index);
+
+  LatencyModel model_;
+  EnergyModel energy_;
+  MeasurementProtocol protocol_;
+  Rng rng_;
+  double session_factor_ = 1.0;
+  double walk_sigma_ = 0.0;
+  double walk_deviation_ = 0.0;
+  bool session_is_bad_ = false;
+  double cost_seconds_ = 0.0;
+};
+
+}  // namespace esm

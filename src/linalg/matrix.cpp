@@ -1,0 +1,131 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace esm {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double value)
+    : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  ESM_REQUIRE(!rows.empty(), "from_rows requires at least one row");
+  Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    ESM_REQUIRE(rows[r].size() == m.cols(), "ragged rows in from_rows");
+    for (std::size_t c = 0; c < m.cols(); ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+void Matrix::fill(double value) {
+  for (double& x : data_) x = value;
+}
+
+void Matrix::apply(const std::function<double(double)>& f) {
+  for (double& x : data_) x = f(x);
+}
+
+void Matrix::add_scaled(const Matrix& other, double alpha) {
+  ESM_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+            "add_scaled shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return std::sqrt(acc);
+}
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& out) {
+  ESM_CHECK(a.cols() == b.rows(), "gemm shape mismatch: " << a.cols()
+                                                          << " vs "
+                                                          << b.rows());
+  out = Matrix(a.rows(), b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  // i-k-j loop order keeps the inner loop contiguous for row-major data.
+  for (std::size_t i = 0; i < m; ++i) {
+    double* out_row = out.data() + i * n;
+    const double* a_row = a.data() + i * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double aik = a_row[p];
+      if (aik == 0.0) continue;
+      const double* b_row = b.data() + p * n;
+      for (std::size_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+}
+
+void gemm_at_b(const Matrix& a, const Matrix& b, Matrix& out) {
+  ESM_CHECK(a.rows() == b.rows(), "gemm_at_b shape mismatch");
+  out = Matrix(a.cols(), b.cols());
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* a_row = a.data() + p * m;
+    const double* b_row = b.data() + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double aip = a_row[i];
+      if (aip == 0.0) continue;
+      double* out_row = out.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) out_row[j] += aip * b_row[j];
+    }
+  }
+}
+
+void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& out) {
+  ESM_CHECK(a.cols() == b.cols(), "gemm_a_bt shape mismatch");
+  out = Matrix(a.rows(), b.rows());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* a_row = a.data() + i * k;
+    double* out_row = out.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* b_row = b.data() + j * k;
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      out_row[j] = acc;
+    }
+  }
+}
+
+std::vector<double> matvec(const Matrix& a, std::span<const double> x) {
+  ESM_CHECK(a.cols() == x.size(), "matvec shape mismatch");
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.data() + i * a.cols();
+    double acc = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  ESM_CHECK(a.size() == b.size(), "dot length mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace esm

@@ -1,0 +1,91 @@
+// Dense row-major matrix with the handful of operations the ML stack needs:
+// GEMM variants (with transpose flags), row/column slices, element-wise maps.
+// Deliberately minimal — no expression templates, no allocator games — so
+// the numerical code stays easy to audit.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace esm {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// rows x cols matrix filled with `value`.
+  Matrix(std::size_t rows, std::size_t cols, double value);
+
+  /// Builds from nested initializer data (used by tests).
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  /// Identity matrix of the given order.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Mutable view of row r.
+  std::span<double> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+  /// Read-only view of row r.
+  std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Sets every element to `value`.
+  void fill(double value);
+
+  /// Element-wise in-place map.
+  void apply(const std::function<double(double)>& f);
+
+  /// this += alpha * other. Shapes must match.
+  void add_scaled(const Matrix& other, double alpha);
+
+  /// Transposed copy.
+  Matrix transposed() const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// out = a * b. Shapes: (m x k) * (k x n) -> (m x n). `out` is resized.
+void gemm(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a^T * b. Shapes: (k x m)^T * (k x n) -> (m x n).
+void gemm_at_b(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a * b^T. Shapes: (m x k) * (n x k)^T -> (m x n).
+void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// y = A * x for a vector x. Requires x.size() == A.cols().
+std::vector<double> matvec(const Matrix& a, std::span<const double> x);
+
+/// Dot product of equal-length spans.
+double dot(std::span<const double> a, std::span<const double> b);
+
+}  // namespace esm

@@ -1,0 +1,87 @@
+#include "linalg/solve.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace esm {
+
+std::optional<Matrix> cholesky(const Matrix& a) {
+  ESM_REQUIRE(a.rows() == a.cols(), "cholesky requires a square matrix");
+  const std::size_t n = a.rows();
+  Matrix lower(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= lower(i, k) * lower(j, k);
+      if (i == j) {
+        if (sum <= 0.0 || !std::isfinite(sum)) return std::nullopt;
+        lower(i, j) = std::sqrt(sum);
+      } else {
+        lower(i, j) = sum / lower(j, j);
+      }
+    }
+  }
+  return lower;
+}
+
+std::vector<double> cholesky_solve(const Matrix& lower,
+                                   std::span<const double> b) {
+  const std::size_t n = lower.rows();
+  ESM_CHECK(lower.cols() == n && b.size() == n, "cholesky_solve shape");
+  // Forward substitution: L z = b.
+  std::vector<double> z(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= lower(i, k) * z[k];
+    z[i] = sum / lower(i, i);
+  }
+  // Backward substitution: L^T x = z.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = z[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= lower(k, ii) * x[k];
+    x[ii] = sum / lower(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> ridge_least_squares(const Matrix& x,
+                                        std::span<const double> y,
+                                        double lambda) {
+  ESM_REQUIRE(x.rows() == y.size(),
+              "ridge_least_squares: X rows " << x.rows() << " != y size "
+                                             << y.size());
+  ESM_REQUIRE(lambda >= 0.0, "ridge lambda must be >= 0");
+  Matrix gram;
+  gemm_at_b(x, x, gram);
+  for (std::size_t i = 0; i < gram.rows(); ++i) gram(i, i) += lambda;
+
+  // X^T y.
+  std::vector<double> rhs(x.cols(), 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double yi = y[r];
+    const auto row = x.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) rhs[c] += row[c] * yi;
+  }
+
+  auto factor = cholesky(gram);
+  if (!factor) {
+    // Singular normal equations (e.g. collinear or constant features):
+    // add progressively stronger Tikhonov jitter until the factorization
+    // succeeds. This keeps degenerate encodings usable as baselines.
+    double jitter = 1e-8;
+    for (int attempt = 0; attempt < 12 && !factor; ++attempt, jitter *= 10) {
+      Matrix regularized = gram;
+      for (std::size_t i = 0; i < regularized.rows(); ++i) {
+        regularized(i, i) += jitter;
+      }
+      factor = cholesky(regularized);
+    }
+    ESM_CHECK(factor.has_value(),
+              "normal equations unsolvable even with jitter");
+  }
+  return cholesky_solve(*factor, rhs);
+}
+
+}  // namespace esm

@@ -1,0 +1,32 @@
+// Linear solvers: Cholesky factorization for symmetric positive-definite
+// systems and ridge-regularized least squares via the normal equations.
+// These back the LinearRegression model and the lookup-table bias-correction
+// step of the surrogate library.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace esm {
+
+/// In-place lower-triangular Cholesky factor of a symmetric positive-definite
+/// matrix. Returns std::nullopt if the matrix is not (numerically) SPD.
+std::optional<Matrix> cholesky(const Matrix& a);
+
+/// Solves L * L^T * x = b given the lower Cholesky factor L.
+std::vector<double> cholesky_solve(const Matrix& lower,
+                                   std::span<const double> b);
+
+/// Solves the ridge least-squares problem
+///   min_w ||X w - y||^2 + lambda ||w||^2
+/// via the normal equations (X^T X + lambda I) w = X^T y.
+/// Requires X.rows() == y.size(); lambda >= 0. With lambda == 0 the system
+/// must be non-singular; a tiny jitter is added automatically on failure.
+std::vector<double> ridge_least_squares(const Matrix& x,
+                                        std::span<const double> y,
+                                        double lambda);
+
+}  // namespace esm

@@ -1,0 +1,82 @@
+#include "linalg/standardizer.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace esm {
+
+void Standardizer::fit(const Matrix& data) {
+  ESM_REQUIRE(data.rows() > 0, "Standardizer::fit requires data");
+  const std::size_t n = data.rows(), d = data.cols();
+  means_.assign(d, 0.0);
+  scales_.assign(d, 1.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = data.row(r);
+    for (std::size_t c = 0; c < d; ++c) means_[c] += row[c];
+  }
+  for (double& m : means_) m /= static_cast<double>(n);
+  std::vector<double> var(d, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = data.row(r);
+    for (std::size_t c = 0; c < d; ++c) {
+      const double diff = row[c] - means_[c];
+      var[c] += diff * diff;
+    }
+  }
+  for (std::size_t c = 0; c < d; ++c) {
+    const double sd = std::sqrt(var[c] / static_cast<double>(n));
+    scales_[c] = sd > 1e-12 ? sd : 1.0;
+  }
+}
+
+void Standardizer::set_state(std::vector<double> means,
+                             std::vector<double> scales) {
+  ESM_REQUIRE(means.size() == scales.size() && !means.empty(),
+              "Standardizer state must have matching non-empty vectors");
+  for (double s : scales) {
+    ESM_REQUIRE(s > 0.0, "Standardizer scales must be positive");
+  }
+  means_ = std::move(means);
+  scales_ = std::move(scales);
+}
+
+Matrix Standardizer::transform(const Matrix& data) const {
+  ESM_REQUIRE(fitted(), "Standardizer used before fit()");
+  ESM_REQUIRE(data.cols() == dimension(),
+              "Standardizer dimension mismatch: " << data.cols() << " vs "
+                                                  << dimension());
+  Matrix out = data;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    auto row = out.row(r);
+    transform_row(row);
+  }
+  return out;
+}
+
+void Standardizer::transform_row(std::span<double> row) const {
+  ESM_REQUIRE(fitted(), "Standardizer used before fit()");
+  ESM_REQUIRE(row.size() == dimension(), "Standardizer row size mismatch");
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    row[c] = (row[c] - means_[c]) / scales_[c];
+  }
+}
+
+void TargetScaler::set_state(double mean, double scale) {
+  ESM_REQUIRE(scale > 0.0, "TargetScaler scale must be positive");
+  mean_ = mean;
+  scale_ = scale;
+}
+
+void TargetScaler::fit(std::span<const double> targets) {
+  ESM_REQUIRE(!targets.empty(), "TargetScaler::fit requires data");
+  double sum = 0.0;
+  for (double y : targets) sum += y;
+  mean_ = sum / static_cast<double>(targets.size());
+  double var = 0.0;
+  for (double y : targets) var += (y - mean_) * (y - mean_);
+  const double sd = std::sqrt(var / static_cast<double>(targets.size()));
+  scale_ = sd > 1e-12 ? sd : 1.0;
+}
+
+}  // namespace esm

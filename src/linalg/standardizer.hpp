@@ -1,0 +1,62 @@
+// Feature/target standardization (z-scoring). The MLP surrogate standardizes
+// its encoded inputs and latency targets during fit and inverts the target
+// transform at prediction time; constant columns are left untouched so sparse
+// encodings (many all-zero one-hot columns) do not blow up.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace esm {
+
+/// Per-column z-score transform learned from a data matrix.
+class Standardizer {
+ public:
+  /// Learns column means and standard deviations from `data` (rows are
+  /// samples). Columns with zero variance get scale 1 so transform() is a
+  /// pure shift for them.
+  void fit(const Matrix& data);
+
+  /// Applies (x - mean) / std column-wise. Requires fit() first and a
+  /// matching column count.
+  Matrix transform(const Matrix& data) const;
+
+  /// In-place transform of a single feature vector.
+  void transform_row(std::span<double> row) const;
+
+  /// Restores a previously saved transform (deserialization).
+  void set_state(std::vector<double> means, std::vector<double> scales);
+
+  bool fitted() const { return !means_.empty(); }
+  std::size_t dimension() const { return means_.size(); }
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& scales() const { return scales_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> scales_;
+};
+
+/// Scalar z-score transform for regression targets.
+class TargetScaler {
+ public:
+  /// Learns mean/std of the targets; a zero std becomes 1.
+  void fit(std::span<const double> targets);
+
+  double transform(double y) const { return (y - mean_) / scale_; }
+  double inverse(double z) const { return z * scale_ + mean_; }
+
+  /// Restores a previously saved transform (deserialization).
+  void set_state(double mean, double scale);
+
+  double mean() const { return mean_; }
+  double scale() const { return scale_; }
+
+ private:
+  double mean_ = 0.0;
+  double scale_ = 1.0;
+};
+
+}  // namespace esm

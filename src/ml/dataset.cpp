@@ -1,0 +1,76 @@
+#include "ml/dataset.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace esm {
+
+void RegressionDataset::add(std::span<const double> features, double target) {
+  if (dimension_ == 0 && empty()) dimension_ = features.size();
+  ESM_REQUIRE(features.size() == dimension_,
+              "sample dimension " << features.size()
+                                  << " != dataset dimension " << dimension_);
+  ESM_REQUIRE(dimension_ > 0, "samples must have at least one feature");
+  flat_.insert(flat_.end(), features.begin(), features.end());
+  targets_.push_back(target);
+  cache_valid_ = false;
+}
+
+void RegressionDataset::append(const RegressionDataset& other) {
+  if (other.empty()) return;
+  if (empty() && dimension_ == 0) dimension_ = other.dimension();
+  ESM_REQUIRE(other.dimension() == dimension_,
+              "appending dataset of dimension " << other.dimension()
+                                                << " to " << dimension_);
+  flat_.insert(flat_.end(), other.flat_.begin(), other.flat_.end());
+  targets_.insert(targets_.end(), other.targets_.begin(),
+                  other.targets_.end());
+  cache_valid_ = false;
+}
+
+const Matrix& RegressionDataset::features() const {
+  if (!cache_valid_) {
+    cache_ = Matrix(size(), dimension_);
+    for (std::size_t r = 0; r < size(); ++r) {
+      const auto src = row(r);
+      auto dst = cache_.row(r);
+      for (std::size_t c = 0; c < dimension_; ++c) dst[c] = src[c];
+    }
+    cache_valid_ = true;
+  }
+  return cache_;
+}
+
+void RegressionDataset::shuffle(Rng& rng) {
+  std::vector<std::size_t> order(size());
+  std::iota(order.begin(), order.end(), 0u);
+  rng.shuffle(order);
+  *this = subset(order);
+}
+
+std::pair<RegressionDataset, RegressionDataset> RegressionDataset::split(
+    std::size_t head) const {
+  ESM_REQUIRE(head <= size(), "split head " << head << " exceeds dataset size "
+                                            << size());
+  std::vector<std::size_t> first(head), rest(size() - head);
+  std::iota(first.begin(), first.end(), 0u);
+  std::iota(rest.begin(), rest.end(), head);
+  return {subset(first), subset(rest)};
+}
+
+RegressionDataset RegressionDataset::subset(
+    const std::vector<std::size_t>& indices) const {
+  RegressionDataset out(dimension_);
+  out.flat_.reserve(indices.size() * dimension_);
+  out.targets_.reserve(indices.size());
+  for (const std::size_t i : indices) {
+    ESM_REQUIRE(i < size(), "subset index out of range");
+    const auto src = row(i);
+    out.flat_.insert(out.flat_.end(), src.begin(), src.end());
+    out.targets_.push_back(targets_[i]);
+  }
+  return out;
+}
+
+}  // namespace esm

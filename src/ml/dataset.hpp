@@ -1,0 +1,62 @@
+// Regression dataset container: encoded architecture vectors paired with
+// measured latencies, plus the split/shuffle/append operations the ESM
+// train-evaluate-extend loop needs. Rows are stored in a flat buffer with
+// amortized growth; the Matrix view is materialized lazily and cached.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace esm {
+
+/// Feature matrix + target vector with aligned rows.
+class RegressionDataset {
+ public:
+  RegressionDataset() = default;
+
+  /// Creates an empty dataset with a fixed feature dimension.
+  explicit RegressionDataset(std::size_t dimension) : dimension_(dimension) {}
+
+  std::size_t size() const { return targets_.size(); }
+  bool empty() const { return targets_.empty(); }
+  std::size_t dimension() const { return dimension_; }
+
+  /// Appends one sample. The first add fixes the dimension if it was 0.
+  void add(std::span<const double> features, double target);
+
+  /// Appends every sample of another dataset (dimensions must match).
+  void append(const RegressionDataset& other);
+
+  /// The feature matrix (rows = samples); built lazily, cached.
+  const Matrix& features() const;
+  const std::vector<double>& targets() const { return targets_; }
+
+  std::span<const double> row(std::size_t i) const {
+    return {flat_.data() + i * dimension_, dimension_};
+  }
+  double target(std::size_t i) const { return targets_[i]; }
+
+  /// Random permutation of the rows.
+  void shuffle(Rng& rng);
+
+  /// Splits off the first `head` rows into one dataset and the rest into
+  /// another (shuffle first for a random split).
+  std::pair<RegressionDataset, RegressionDataset> split(std::size_t head) const;
+
+  /// Subset by row indices.
+  RegressionDataset subset(const std::vector<std::size_t>& indices) const;
+
+ private:
+  std::size_t dimension_ = 0;
+  std::vector<double> flat_;  // size() * dimension_ values, row-major
+  std::vector<double> targets_;
+  mutable Matrix cache_;
+  mutable bool cache_valid_ = false;
+};
+
+}  // namespace esm

@@ -1,0 +1,48 @@
+#include "ml/linreg.hpp"
+
+#include "common/error.hpp"
+#include "linalg/solve.hpp"
+
+namespace esm {
+
+void LinearRegression::fit(const Matrix& x, std::span<const double> y) {
+  ESM_REQUIRE(x.rows() == y.size(), "LinearRegression data mismatch");
+  ESM_REQUIRE(x.rows() > 0, "LinearRegression requires data");
+  // Augment with a bias column (not regularized meaningfully at these
+  // lambda magnitudes).
+  Matrix augmented(x.rows(), x.cols() + 1);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto src = x.row(r);
+    auto dst = augmented.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) dst[c] = src[c];
+    dst[x.cols()] = 1.0;
+  }
+  std::vector<double> solution = ridge_least_squares(augmented, y, lambda_);
+  intercept_ = solution.back();
+  solution.pop_back();
+  weights_ = std::move(solution);
+}
+
+std::vector<double> LinearRegression::predict(const Matrix& x) const {
+  ESM_REQUIRE(fitted(), "LinearRegression used before fit()");
+  ESM_REQUIRE(x.cols() == weights_.size(),
+              "LinearRegression dimension mismatch");
+  std::vector<double> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    out[r] = predict_one(x.row(r));
+  }
+  return out;
+}
+
+double LinearRegression::predict_one(std::span<const double> features) const {
+  ESM_REQUIRE(fitted(), "LinearRegression used before fit()");
+  ESM_REQUIRE(features.size() == weights_.size(),
+              "LinearRegression dimension mismatch");
+  double acc = intercept_;
+  for (std::size_t c = 0; c < features.size(); ++c) {
+    acc += weights_[c] * features[c];
+  }
+  return acc;
+}
+
+}  // namespace esm

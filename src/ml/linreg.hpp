@@ -1,0 +1,39 @@
+// Ridge-regularized linear regression via the normal equations. Used as
+// (a) the lookup-table bias-correction model the paper applies to LUT
+// predictions, and (b) a standalone baseline in the model-family ablation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace esm {
+
+/// y ≈ w · x + b, fit by ridge least squares.
+class LinearRegression {
+ public:
+  /// lambda is the ridge strength (0 = ordinary least squares; a tiny
+  /// jitter is added automatically if the system is singular).
+  explicit LinearRegression(double lambda = 1e-8) : lambda_(lambda) {}
+
+  /// Fits on rows of x against y.
+  void fit(const Matrix& x, std::span<const double> y);
+
+  /// Predicts a batch; requires fit() first.
+  std::vector<double> predict(const Matrix& x) const;
+
+  /// Predicts a single sample.
+  double predict_one(std::span<const double> features) const;
+
+  bool fitted() const { return !weights_.empty(); }
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  double lambda_;
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+};
+
+}  // namespace esm

@@ -1,0 +1,67 @@
+#include "ml/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace esm {
+
+double sample_accuracy(double predicted, double actual) {
+  ESM_REQUIRE(actual > 0.0, "sample_accuracy requires a positive actual");
+  const double relative_error = std::abs(predicted - actual) / actual;
+  return std::max(0.0, 1.0 - relative_error);
+}
+
+double mean_accuracy(std::span<const double> predicted,
+                     std::span<const double> actual) {
+  ESM_REQUIRE(predicted.size() == actual.size(),
+              "mean_accuracy length mismatch");
+  if (predicted.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    acc += sample_accuracy(predicted[i], actual[i]);
+  }
+  return acc / static_cast<double>(predicted.size());
+}
+
+double mape(std::span<const double> predicted,
+            std::span<const double> actual) {
+  ESM_REQUIRE(predicted.size() == actual.size(), "mape length mismatch");
+  if (predicted.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    ESM_REQUIRE(actual[i] > 0.0, "mape requires positive actuals");
+    acc += std::abs(predicted[i] - actual[i]) / actual[i];
+  }
+  return acc / static_cast<double>(predicted.size());
+}
+
+double rmse(std::span<const double> predicted,
+            std::span<const double> actual) {
+  ESM_REQUIRE(predicted.size() == actual.size(), "rmse length mismatch");
+  if (predicted.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double d = predicted[i] - actual[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(predicted.size()));
+}
+
+double r_squared(std::span<const double> predicted,
+                 std::span<const double> actual) {
+  ESM_REQUIRE(predicted.size() == actual.size(), "r_squared length mismatch");
+  if (predicted.size() < 2) return 0.0;
+  const double mean_actual = mean(actual);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    ss_res += (actual[i] - predicted[i]) * (actual[i] - predicted[i]);
+    ss_tot += (actual[i] - mean_actual) * (actual[i] - mean_actual);
+  }
+  if (ss_tot == 0.0) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace esm

@@ -1,0 +1,34 @@
+// Prediction-quality metrics.
+//
+// The paper reports "accuracy" percentages (e.g. FCC 97.6 % on ResNet).
+// We follow the standard HW-NAS convention these numbers correspond to:
+// per-sample accuracy is 1 - |pred - actual| / actual (clamped at 0), and a
+// predictor's accuracy is the mean over the test set — i.e. 100 % minus the
+// mean absolute percentage error. RMSE, R^2 and Kendall tau are provided as
+// secondary diagnostics (tau measures whether the predictor preserves
+// architecture *rankings*, which is what a NAS search actually consumes).
+#pragma once
+
+#include <span>
+
+namespace esm {
+
+/// Per-sample prediction accuracy: max(0, 1 - |pred - actual| / actual).
+/// Requires actual > 0 (latencies are strictly positive).
+double sample_accuracy(double predicted, double actual);
+
+/// Mean of sample_accuracy over a test set. Empty input yields 0.
+double mean_accuracy(std::span<const double> predicted,
+                     std::span<const double> actual);
+
+/// Mean absolute percentage error (unclamped).
+double mape(std::span<const double> predicted, std::span<const double> actual);
+
+/// Root-mean-square error.
+double rmse(std::span<const double> predicted, std::span<const double> actual);
+
+/// Coefficient of determination R^2 (1 = perfect; can be negative).
+double r_squared(std::span<const double> predicted,
+                 std::span<const double> actual);
+
+}  // namespace esm

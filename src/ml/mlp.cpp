@@ -1,0 +1,216 @@
+#include "ml/mlp.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace esm {
+
+Mlp::Mlp(std::vector<std::size_t> dims, Rng& rng) : dims_(std::move(dims)) {
+  ESM_REQUIRE(dims_.size() >= 2, "MLP needs at least input and output dims");
+  for (std::size_t d : dims_) {
+    ESM_REQUIRE(d >= 1, "MLP layer widths must be positive");
+  }
+  layers_.reserve(dims_.size() - 1);
+  for (std::size_t i = 0; i + 1 < dims_.size(); ++i) {
+    const std::size_t fan_in = dims_[i];
+    const std::size_t fan_out = dims_[i + 1];
+    Dense layer;
+    layer.w = Matrix(fan_out, fan_in);
+    const double he_std = std::sqrt(2.0 / static_cast<double>(fan_in));
+    for (std::size_t r = 0; r < fan_out; ++r) {
+      for (std::size_t c = 0; c < fan_in; ++c) {
+        layer.w(r, c) = rng.normal(0.0, he_std);
+      }
+    }
+    layer.b.assign(fan_out, 0.0);
+    layer.m_w = Matrix(fan_out, fan_in);
+    layer.v_w = Matrix(fan_out, fan_in);
+    layer.m_b.assign(fan_out, 0.0);
+    layer.v_b.assign(fan_out, 0.0);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+Mlp Mlp::paper_predictor(std::size_t input_dim, Rng& rng) {
+  return Mlp({input_dim, 64, 64, 1}, rng);
+}
+
+std::size_t Mlp::parameter_count() const {
+  std::size_t total = 0;
+  for (const Dense& l : layers_) total += l.w.size() + l.b.size();
+  return total;
+}
+
+namespace {
+
+/// h = x * w^T + b, then optional ReLU.
+void dense_forward(const Matrix& x, const Matrix& w,
+                   const std::vector<double>& b, bool relu, Matrix& out) {
+  gemm_a_bt(x, w, out);
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    auto row = out.row(r);
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      row[c] += b[c];
+      if (relu && row[c] < 0.0) row[c] = 0.0;
+    }
+  }
+}
+
+}  // namespace
+
+Matrix Mlp::forward(const Matrix& x) const {
+  ESM_REQUIRE(x.cols() == input_dim(),
+              "MLP input dim " << x.cols() << " != " << input_dim());
+  Matrix h = x;
+  Matrix next;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const bool relu = i + 1 < layers_.size();
+    dense_forward(h, layers_[i].w, layers_[i].b, relu, next);
+    h = std::move(next);
+  }
+  return h;
+}
+
+std::vector<double> Mlp::predict(const Matrix& x) const {
+  ESM_REQUIRE(output_dim() == 1, "predict() requires a scalar-output MLP");
+  const Matrix out = forward(x);
+  std::vector<double> y(out.rows());
+  for (std::size_t r = 0; r < out.rows(); ++r) y[r] = out(r, 0);
+  return y;
+}
+
+double Mlp::predict_one(std::span<const double> features) const {
+  Matrix x(1, features.size());
+  auto row = x.row(0);
+  for (std::size_t c = 0; c < features.size(); ++c) row[c] = features[c];
+  return predict(x).front();
+}
+
+void Mlp::save(ArchiveWriter& archive, const std::string& prefix) const {
+  std::vector<double> dims;
+  for (std::size_t d : dims_) dims.push_back(static_cast<double>(d));
+  archive.put_doubles(prefix + ".dims", dims);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const Dense& layer = layers_[i];
+    std::vector<double> w(layer.w.data(), layer.w.data() + layer.w.size());
+    archive.put_doubles(prefix + ".w" + std::to_string(i), w);
+    archive.put_doubles(prefix + ".b" + std::to_string(i), layer.b);
+  }
+}
+
+Mlp Mlp::load(const ArchiveReader& archive, const std::string& prefix) {
+  const std::vector<double> raw_dims = archive.get_doubles(prefix + ".dims");
+  std::vector<std::size_t> dims;
+  for (double d : raw_dims) {
+    ESM_REQUIRE(d >= 1.0, "archived MLP has invalid dims");
+    dims.push_back(static_cast<std::size_t>(d));
+  }
+  Rng init_rng(0);  // weights are overwritten below
+  Mlp mlp(dims, init_rng);
+  for (std::size_t i = 0; i < mlp.layers_.size(); ++i) {
+    Dense& layer = mlp.layers_[i];
+    const std::vector<double> w =
+        archive.get_doubles(prefix + ".w" + std::to_string(i));
+    ESM_REQUIRE(w.size() == layer.w.size(),
+                "archived MLP layer " << i << " weight size mismatch");
+    for (std::size_t j = 0; j < w.size(); ++j) layer.w.data()[j] = w[j];
+    const std::vector<double> b =
+        archive.get_doubles(prefix + ".b" + std::to_string(i));
+    ESM_REQUIRE(b.size() == layer.b.size(),
+                "archived MLP layer " << i << " bias size mismatch");
+    layer.b = b;
+  }
+  return mlp;
+}
+
+double Mlp::train_batch(const Matrix& x, std::span<const double> y,
+                        const AdamConfig& cfg, double lr_override) {
+  ESM_REQUIRE(output_dim() == 1, "train_batch requires a scalar-output MLP");
+  ESM_REQUIRE(x.rows() == y.size(), "train_batch batch-size mismatch");
+  ESM_REQUIRE(x.rows() > 0, "train_batch requires a non-empty batch");
+  const std::size_t batch = x.rows();
+  const double lr = lr_override > 0.0 ? lr_override : cfg.learning_rate;
+
+  // Forward with cached activations (activations[0] is the input).
+  std::vector<Matrix> activations;
+  activations.reserve(layers_.size() + 1);
+  activations.push_back(x);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const bool relu = i + 1 < layers_.size();
+    Matrix h;
+    dense_forward(activations.back(), layers_[i].w, layers_[i].b, relu, h);
+    activations.push_back(std::move(h));
+  }
+
+  // MSE loss and its gradient at the output.
+  const Matrix& out = activations.back();
+  Matrix delta(batch, 1);
+  double loss = 0.0;
+  for (std::size_t r = 0; r < batch; ++r) {
+    const double diff = out(r, 0) - y[r];
+    loss += diff * diff;
+    delta(r, 0) = 2.0 * diff / static_cast<double>(batch);
+  }
+  loss /= static_cast<double>(batch);
+
+  ++adam_step_;
+  const double bias1 = 1.0 - std::pow(cfg.beta1, static_cast<double>(adam_step_));
+  const double bias2 = 1.0 - std::pow(cfg.beta2, static_cast<double>(adam_step_));
+
+  // Backward pass, updating layer by layer from the top.
+  for (std::size_t ii = layers_.size(); ii-- > 0;) {
+    Dense& layer = layers_[ii];
+    const Matrix& input = activations[ii];
+
+    // Gradients: dW = delta^T * input, db = column sums of delta.
+    Matrix grad_w;
+    gemm_at_b(delta, input, grad_w);
+    std::vector<double> grad_b(layer.b.size(), 0.0);
+    for (std::size_t r = 0; r < delta.rows(); ++r) {
+      const auto row = delta.row(r);
+      for (std::size_t c = 0; c < grad_b.size(); ++c) grad_b[c] += row[c];
+    }
+    // Coupled weight decay (PyTorch Adam): grad += wd * w.
+    if (cfg.weight_decay != 0.0) {
+      grad_w.add_scaled(layer.w, cfg.weight_decay);
+    }
+
+    // Propagate delta to the previous layer before updating weights.
+    if (ii > 0) {
+      Matrix prev_delta;
+      gemm(delta, layer.w, prev_delta);  // (B x out) * (out x in)
+      // ReLU mask of the previous activation.
+      const Matrix& prev_act = activations[ii];
+      for (std::size_t r = 0; r < prev_delta.rows(); ++r) {
+        auto drow = prev_delta.row(r);
+        const auto arow = prev_act.row(r);
+        for (std::size_t c = 0; c < prev_delta.cols(); ++c) {
+          if (arow[c] <= 0.0) drow[c] = 0.0;
+        }
+      }
+      delta = std::move(prev_delta);
+    }
+
+    // Adam update.
+    auto adam_update = [&](double& param, double grad, double& m, double& v) {
+      m = cfg.beta1 * m + (1.0 - cfg.beta1) * grad;
+      v = cfg.beta2 * v + (1.0 - cfg.beta2) * grad * grad;
+      const double m_hat = m / bias1;
+      const double v_hat = v / bias2;
+      param -= lr * m_hat / (std::sqrt(v_hat) + cfg.epsilon);
+    };
+    for (std::size_t r = 0; r < layer.w.rows(); ++r) {
+      for (std::size_t c = 0; c < layer.w.cols(); ++c) {
+        adam_update(layer.w(r, c), grad_w(r, c), layer.m_w(r, c),
+                    layer.v_w(r, c));
+      }
+    }
+    for (std::size_t c = 0; c < layer.b.size(); ++c) {
+      adam_update(layer.b[c], grad_b[c], layer.m_b[c], layer.v_b[c]);
+    }
+  }
+  return loss;
+}
+
+}  // namespace esm

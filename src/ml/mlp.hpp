@@ -1,0 +1,74 @@
+// Multilayer-perceptron regressor with Adam, matching the paper's predictor:
+// three fully-connected layers with hidden dimension 64, ReLU activations,
+// MSE loss, Adam with learning rate 0.01 and weight decay 1e-4 (§III-A).
+//
+// The MLP operates on whatever feature space it is given; the surrogate
+// layer (src/surrogate) composes it with an architecture encoder and
+// input/target standardization.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/archive.hpp"
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace esm {
+
+/// Adam hyper-parameters (defaults follow the paper).
+struct AdamConfig {
+  double learning_rate = 0.01;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double weight_decay = 1e-4;  ///< L2 added to gradients (coupled, PyTorch-style)
+};
+
+/// Feed-forward ReLU network trained with minibatch Adam on MSE loss.
+class Mlp {
+ public:
+  /// `dims` lists layer widths input-first, e.g. {36, 64, 64, 1}.
+  /// Weights use He initialization drawn from `rng`.
+  Mlp(std::vector<std::size_t> dims, Rng& rng);
+
+  /// Paper architecture: in -> 64 -> 64 -> 1.
+  static Mlp paper_predictor(std::size_t input_dim, Rng& rng);
+
+  std::size_t input_dim() const { return dims_.front(); }
+  std::size_t output_dim() const { return dims_.back(); }
+  std::size_t parameter_count() const;
+
+  /// Batched forward pass: returns an (x.rows() x output_dim) matrix.
+  Matrix forward(const Matrix& x) const;
+
+  /// Convenience: forward for scalar-output networks.
+  std::vector<double> predict(const Matrix& x) const;
+  double predict_one(std::span<const double> features) const;
+
+  /// One Adam step on a minibatch (MSE loss, scalar output). Returns the
+  /// batch's mean squared error *before* the step.
+  double train_batch(const Matrix& x, std::span<const double> y,
+                     const AdamConfig& cfg, double lr_override);
+
+  /// Persists the network (dims + weights; optimizer state is not saved).
+  void save(ArchiveWriter& archive, const std::string& prefix) const;
+
+  /// Restores a network saved with save().
+  static Mlp load(const ArchiveReader& archive, const std::string& prefix);
+
+ private:
+  struct Dense {
+    Matrix w;  // out x in
+    std::vector<double> b;
+    Matrix m_w, v_w;  // Adam moments
+    std::vector<double> m_b, v_b;
+  };
+
+  std::vector<std::size_t> dims_;
+  std::vector<Dense> layers_;
+  long long adam_step_ = 0;
+};
+
+}  // namespace esm

@@ -1,0 +1,37 @@
+// Synthetic task-accuracy model.
+//
+// The paper's Fig. 2 plots ImageNet top-5 accuracy of 243 ResNet variants
+// against measured latency; we have no ImageNet, so this proxy substitutes a
+// capacity model with the properties the experiment needs: accuracy grows
+// monotonically with model capacity (FLOPs) with diminishing returns, plus a
+// small architecture-specific deterministic residual (two same-FLOPs models
+// differ slightly). The residual is derived from a hash of the
+// configuration, so the proxy is a pure function — repeated queries agree.
+#pragma once
+
+#include <cstdint>
+
+#include "nets/builder.hpp"
+#include "nets/supernet.hpp"
+
+namespace esm {
+
+/// Deterministic synthetic top-5 accuracy in (0, 1).
+class AccuracyProxy {
+ public:
+  /// `seed` decorrelates the residual field between experiment instances.
+  explicit AccuracyProxy(SupernetSpec spec, std::uint64_t seed = 7);
+
+  /// Synthetic top-5 accuracy of one architecture.
+  double top5_accuracy(const ArchConfig& arch) const;
+
+ private:
+  SupernetSpec spec_;
+  std::uint64_t seed_;
+  double floor_ = 0.885;       ///< accuracy of the smallest models
+  double span_ = 0.065;        ///< gain at saturation
+  double knee_gflops_ = 6.0;   ///< capacity scale of diminishing returns
+  double residual_sd_ = 0.0035;///< architecture-specific deviation
+};
+
+}  // namespace esm

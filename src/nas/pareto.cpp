@@ -1,0 +1,67 @@
+#include "nas/pareto.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace esm {
+
+std::vector<std::size_t> pareto_front(std::span<const double> cost,
+                                      std::span<const double> value) {
+  ESM_REQUIRE(cost.size() == value.size(), "pareto_front length mismatch");
+  std::vector<std::size_t> order(cost.size());
+  std::iota(order.begin(), order.end(), 0u);
+  // Ascending cost; ties broken by descending value so the best of a tie
+  // group comes first.
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (cost[a] != cost[b]) return cost[a] < cost[b];
+    return value[a] > value[b];
+  });
+  std::vector<std::size_t> front;
+  double best_value = -1e300;
+  for (std::size_t i : order) {
+    if (value[i] > best_value) {
+      best_value = value[i];
+      front.push_back(i);
+    }
+  }
+  return front;
+}
+
+double index_jaccard(const std::vector<std::size_t>& a,
+                     const std::vector<std::size_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const std::set<std::size_t> sa(a.begin(), a.end());
+  const std::set<std::size_t> sb(b.begin(), b.end());
+  std::size_t intersection = 0;
+  for (std::size_t x : sa) {
+    if (sb.count(x) > 0) ++intersection;
+  }
+  const std::size_t uni = sa.size() + sb.size() - intersection;
+  return uni == 0 ? 1.0
+                  : static_cast<double>(intersection) /
+                        static_cast<double>(uni);
+}
+
+double pareto_regret(std::span<const double> cost,
+                     std::span<const double> value,
+                     const std::vector<std::size_t>& truth,
+                     const std::vector<std::size_t>& selected) {
+  if (truth.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t t : truth) {
+    // Best selected value achievable at cost no greater than the true
+    // point's cost.
+    double best = -1e300;
+    for (std::size_t s : selected) {
+      if (cost[s] <= cost[t] && value[s] > best) best = value[s];
+    }
+    const double shortfall = best <= -1e299 ? value[t] : value[t] - best;
+    total += std::max(0.0, shortfall);
+  }
+  return total / static_cast<double>(truth.size());
+}
+
+}  // namespace esm

@@ -1,0 +1,30 @@
+// Pareto-front utilities for latency/accuracy trade-off analysis (paper
+// Fig. 2b: how prediction error displaces the identified Pareto points).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace esm {
+
+/// Indices of the Pareto-optimal points when *minimizing* `cost` and
+/// *maximizing* `value`, sorted by ascending cost. A point is dominated if
+/// another has cost <= and value >= with at least one strict.
+std::vector<std::size_t> pareto_front(std::span<const double> cost,
+                                      std::span<const double> value);
+
+/// Jaccard similarity between two index sets (|A ∩ B| / |A ∪ B|);
+/// 1 when both are empty.
+double index_jaccard(const std::vector<std::size_t>& a,
+                     const std::vector<std::size_t>& b);
+
+/// Mean value lost by selecting front `selected` instead of the true front:
+/// for each point of `truth`, the shortfall of the best selected value at
+/// no greater cost, averaged (0 = no regret).
+double pareto_regret(std::span<const double> cost,
+                     std::span<const double> value,
+                     const std::vector<std::size_t>& truth,
+                     const std::vector<std::size_t>& selected);
+
+}  // namespace esm

@@ -1,0 +1,124 @@
+#include "nas/search.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace esm {
+
+EvolutionarySearch::EvolutionarySearch(SupernetSpec spec, SearchConfig config)
+    : spec_(std::move(spec)), config_(config) {
+  ESM_REQUIRE(config_.latency_limit_ms > 0.0,
+              "search requires a positive latency limit");
+  ESM_REQUIRE(config_.population >= 2, "population must be >= 2");
+  ESM_REQUIRE(config_.parents >= 1 && config_.parents <= config_.population,
+              "parents must be in [1, population]");
+  ESM_REQUIRE(config_.generations >= 1, "generations must be >= 1");
+}
+
+void EvolutionarySearch::mutate(ArchConfig& arch, Rng& rng) const {
+  for (UnitConfig& unit : arch.units) {
+    // Depth mutation: grow or shrink by one block within bounds.
+    if (rng.bernoulli(config_.mutate_depth_prob)) {
+      const bool grow = rng.bernoulli(0.5);
+      if (grow && unit.depth() < spec_.max_blocks_per_unit) {
+        if (spec_.kernel_per_unit) {
+          unit.blocks.push_back(unit.blocks.front());
+        } else {
+          unit.blocks.push_back(random_block(spec_, rng));
+        }
+      } else if (!grow && unit.depth() > spec_.min_blocks_per_unit) {
+        unit.blocks.pop_back();
+      }
+    }
+    // Feature mutation.
+    if (spec_.kernel_per_unit) {
+      if (rng.bernoulli(config_.mutate_block_prob)) {
+        const int kernel = spec_.kernel_options[static_cast<std::size_t>(
+            rng.uniform_int(0,
+                            static_cast<int>(spec_.kernel_options.size()) - 1))];
+        for (BlockConfig& b : unit.blocks) b.kernel = kernel;
+      }
+    } else {
+      for (BlockConfig& b : unit.blocks) {
+        if (rng.bernoulli(config_.mutate_block_prob)) {
+          b = random_block(spec_, rng);
+        }
+      }
+    }
+  }
+}
+
+ArchConfig EvolutionarySearch::crossover(const ArchConfig& a,
+                                         const ArchConfig& b,
+                                         Rng& rng) const {
+  ESM_CHECK(a.units.size() == b.units.size(), "crossover parent mismatch");
+  ArchConfig child;
+  child.kind = a.kind;
+  child.units.reserve(a.units.size());
+  for (std::size_t u = 0; u < a.units.size(); ++u) {
+    child.units.push_back(rng.bernoulli(0.5) ? a.units[u] : b.units[u]);
+  }
+  return child;
+}
+
+SearchResult EvolutionarySearch::run(const LatencyPredictor& predictor,
+                                     const AccuracyProxy& proxy) const {
+  Rng rng(config_.seed);
+  RandomSampler sampler(spec_);
+
+  SearchResult result;
+  auto score = [&](const ArchConfig& arch) {
+    Candidate c;
+    c.arch = arch;
+    c.predicted_latency_ms = predictor.predict_ms(arch);
+    c.proxy_accuracy = proxy.top5_accuracy(arch);
+    ++result.evaluations;
+    return c;
+  };
+  // Fitness: feasible candidates rank by accuracy; infeasible ones rank
+  // below every feasible candidate, least-violating first.
+  auto fitness = [&](const Candidate& c) {
+    if (c.predicted_latency_ms <= config_.latency_limit_ms) {
+      return c.proxy_accuracy;
+    }
+    return -(c.predicted_latency_ms - config_.latency_limit_ms);
+  };
+
+  std::vector<Candidate> population;
+  population.reserve(config_.population);
+  for (std::size_t i = 0; i < config_.population; ++i) {
+    population.push_back(score(sampler.sample(rng)));
+  }
+
+  for (int gen = 0; gen < config_.generations; ++gen) {
+    std::sort(population.begin(), population.end(),
+              [&](const Candidate& x, const Candidate& y) {
+                return fitness(x) > fitness(y);
+              });
+    population.resize(std::min(config_.parents, population.size()));
+    while (population.size() < config_.population) {
+      const std::size_t i = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<int>(std::min(config_.parents, population.size())) -
+                 1));
+      const std::size_t j = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<int>(std::min(config_.parents, population.size())) -
+                 1));
+      ArchConfig child = crossover(population[i].arch, population[j].arch, rng);
+      mutate(child, rng);
+      population.push_back(score(child));
+    }
+  }
+
+  std::sort(population.begin(), population.end(),
+            [&](const Candidate& x, const Candidate& y) {
+              return fitness(x) > fitness(y);
+            });
+  result.best = population.front();
+  result.found_feasible =
+      result.best.predicted_latency_ms <= config_.latency_limit_ms;
+  result.population = std::move(population);
+  return result;
+}
+
+}  // namespace esm

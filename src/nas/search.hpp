@@ -1,0 +1,68 @@
+// Hardware-aware architecture search driven by a latency surrogate
+// (the exploration phase of OFA-style NAS the paper targets, Fig. 1).
+//
+// An evolutionary loop maximizes proxy task accuracy subject to a predicted
+// latency constraint. The point of the example/bench built on this is that
+// the *quality of the surrogate* decides whether the returned architectures
+// actually satisfy the constraint on the device — inaccurate predictors
+// return constraint-violating or suboptimal models (paper Fig. 2b).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nas/accuracy_proxy.hpp"
+#include "nets/sampler.hpp"
+#include "nets/supernet.hpp"
+#include "surrogate/predictor.hpp"
+
+namespace esm {
+
+/// Evolutionary-search hyper-parameters.
+struct SearchConfig {
+  std::size_t population = 64;
+  int generations = 40;
+  std::size_t parents = 16;        ///< top-k kept each generation
+  double mutate_block_prob = 0.15; ///< per-block feature mutation rate
+  double mutate_depth_prob = 0.30; ///< per-unit depth +-1 mutation rate
+  double latency_limit_ms = 0.0;   ///< constraint (must be set > 0)
+  std::uint64_t seed = 1;
+};
+
+/// One scored candidate.
+struct Candidate {
+  ArchConfig arch;
+  double predicted_latency_ms = 0.0;
+  double proxy_accuracy = 0.0;
+};
+
+/// Search outcome: the best feasible candidate plus the final population.
+struct SearchResult {
+  Candidate best;
+  std::vector<Candidate> population;
+  bool found_feasible = false;
+  std::size_t evaluations = 0;
+};
+
+/// Latency-constrained evolutionary search over one space.
+class EvolutionarySearch {
+ public:
+  EvolutionarySearch(SupernetSpec spec, SearchConfig config);
+
+  /// Runs the search; `predictor` screens latency, `proxy` scores accuracy.
+  SearchResult run(const LatencyPredictor& predictor,
+                   const AccuracyProxy& proxy) const;
+
+  /// Mutates one architecture in place (depth tweaks + feature resamples).
+  void mutate(ArchConfig& arch, Rng& rng) const;
+
+  /// Unit-wise uniform crossover of two parents.
+  ArchConfig crossover(const ArchConfig& a, const ArchConfig& b,
+                       Rng& rng) const;
+
+ private:
+  SupernetSpec spec_;
+  SearchConfig config_;
+};
+
+}  // namespace esm

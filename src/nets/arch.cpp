@@ -1,0 +1,49 @@
+#include "nets/arch.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace esm {
+
+const char* supernet_kind_name(SupernetKind kind) {
+  switch (kind) {
+    case SupernetKind::kResNet: return "ResNet";
+    case SupernetKind::kMobileNetV3: return "MobileNetV3";
+    case SupernetKind::kDenseNet: return "DenseNet";
+  }
+  return "unknown";
+}
+
+int ArchConfig::total_blocks() const {
+  int total = 0;
+  for (const UnitConfig& u : units) total += u.depth();
+  return total;
+}
+
+std::vector<int> ArchConfig::depths() const {
+  std::vector<int> d;
+  d.reserve(units.size());
+  for (const UnitConfig& u : units) d.push_back(u.depth());
+  return d;
+}
+
+std::string ArchConfig::to_string() const {
+  std::ostringstream os;
+  os << supernet_kind_name(kind) << '[';
+  for (std::size_t ui = 0; ui < units.size(); ++ui) {
+    if (ui > 0) os << '|';
+    const UnitConfig& u = units[ui];
+    os << "d=" << u.depth() << ':';
+    for (std::size_t bi = 0; bi < u.blocks.size(); ++bi) {
+      if (bi > 0) os << ',';
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "k%de%.3f", u.blocks[bi].kernel,
+                    u.blocks[bi].expansion);
+      os << buf;
+    }
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace esm

@@ -1,0 +1,88 @@
+// Shared lowering helpers for the supernet builders (internal header).
+#pragma once
+
+#include <cmath>
+#include <string>
+
+#include "nn/graph.hpp"
+
+namespace esm::detail {
+
+/// Output spatial size of a same-padded, strided op.
+inline int strided_dim(int in, int stride) { return (in + stride - 1) / stride; }
+
+/// Sentinel for add_conv_bn's `activation` parameter meaning "no activation
+/// after the batch norm" (any non-activation kind works; this reads better).
+inline constexpr LayerKind kNoActivation = LayerKind::kBatchNorm;
+
+/// Appends conv + batch-norm (+ optional activation) with same padding.
+inline TensorShape add_conv_bn(LayerGraph& g, const std::string& name,
+                               TensorShape in, int out_channels, int kernel,
+                               int stride, LayerKind activation,
+                               bool depthwise = false) {
+  TensorShape out{out_channels, strided_dim(in.height, stride),
+                  strided_dim(in.width, stride)};
+  Layer conv;
+  conv.kind = depthwise ? LayerKind::kDepthwiseConv : LayerKind::kConv2d;
+  conv.name = name + (depthwise ? "_dwconv" : "_conv");
+  conv.input = in;
+  conv.output = out;
+  conv.kernel = kernel;
+  conv.stride = stride;
+  conv.groups = depthwise ? in.channels : 1;
+  g.add(conv);
+
+  Layer bn;
+  bn.kind = LayerKind::kBatchNorm;
+  bn.name = name + "_bn";
+  bn.input = out;
+  bn.output = out;
+  g.add(bn);
+
+  if (activation == LayerKind::kRelu || activation == LayerKind::kHSwish) {
+    Layer act;
+    act.kind = activation;
+    act.name = name + (activation == LayerKind::kRelu ? "_relu" : "_hswish");
+    act.input = out;
+    act.output = out;
+    g.add(act);
+  }
+  return out;
+}
+
+/// Appends an element-wise residual addition.
+inline void add_residual(LayerGraph& g, const std::string& name,
+                         TensorShape shape) {
+  Layer add;
+  add.kind = LayerKind::kAdd;
+  add.name = name + "_add";
+  add.input = shape;
+  add.aux_input = shape;
+  add.output = shape;
+  g.add(add);
+}
+
+/// Appends the global-average-pool + fully-connected classification head.
+inline void add_head(LayerGraph& g, TensorShape in, int num_classes) {
+  Layer gap;
+  gap.kind = LayerKind::kGlobalAvgPool;
+  gap.name = "head_gap";
+  gap.input = in;
+  gap.output = {in.channels, 1, 1};
+  g.add(gap);
+
+  Layer fc;
+  fc.kind = LayerKind::kFullyConnected;
+  fc.name = "head_fc";
+  fc.input = {in.channels, 1, 1};
+  fc.output = {num_classes, 1, 1};
+  fc.has_bias = true;
+  g.add(fc);
+}
+
+/// Rounds a fractional channel count, clamped to at least 1.
+inline int scaled_channels(double base, double ratio) {
+  return std::max(1, static_cast<int>(std::lround(base * ratio)));
+}
+
+}  // namespace esm::detail

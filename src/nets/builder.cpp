@@ -1,0 +1,17 @@
+#include "nets/builder.hpp"
+
+#include "common/error.hpp"
+
+namespace esm {
+
+LayerGraph build_graph(const SupernetSpec& spec, const ArchConfig& arch) {
+  spec.validate(arch);
+  switch (spec.kind) {
+    case SupernetKind::kResNet: return build_resnet(spec, arch);
+    case SupernetKind::kMobileNetV3: return build_mobilenet_v3(spec, arch);
+    case SupernetKind::kDenseNet: return build_densenet(spec, arch);
+  }
+  throw ConfigError("unknown supernet kind in build_graph");
+}
+
+}  // namespace esm

@@ -1,0 +1,72 @@
+#include "nets/composition.hpp"
+
+#include "common/error.hpp"
+
+namespace esm {
+
+CompositionTable::CompositionTable(int parts, int lo, int hi)
+    : parts_(parts), lo_(lo), hi_(hi) {
+  ESM_REQUIRE(parts >= 1, "composition needs at least one part");
+  ESM_REQUIRE(lo >= 1 && lo <= hi, "composition bounds require 1 <= lo <= hi");
+  const int max_t = parts * hi;
+  counts_.assign(static_cast<std::size_t>(parts) + 1,
+                 std::vector<std::uint64_t>(static_cast<std::size_t>(max_t) + 1,
+                                            0));
+  counts_[0][0] = 1;
+  for (int p = 1; p <= parts; ++p) {
+    for (int t = 0; t <= max_t; ++t) {
+      std::uint64_t acc = 0;
+      for (int v = lo; v <= hi && v <= t; ++v) {
+        acc += counts_[p - 1][t - v];
+      }
+      counts_[p][t] = acc;
+    }
+  }
+}
+
+std::uint64_t CompositionTable::count(int total) const {
+  if (total < 0 || total > max_total()) return 0;
+  return counts_[static_cast<std::size_t>(parts_)]
+                [static_cast<std::size_t>(total)];
+}
+
+std::vector<int> CompositionTable::sample(int total, Rng& rng) const {
+  ESM_REQUIRE(count(total) > 0,
+              "no compositions of " << total << " into " << parts_
+                                    << " parts in [" << lo_ << ", " << hi_
+                                    << "]");
+  std::vector<int> parts_out;
+  parts_out.reserve(static_cast<std::size_t>(parts_));
+  int remaining = total;
+  for (int p = parts_; p >= 1; --p) {
+    // Choose the value of part p proportionally to the number of ways the
+    // remaining p-1 parts can complete the total.
+    const std::uint64_t ways = counts_[static_cast<std::size_t>(p)]
+                                      [static_cast<std::size_t>(remaining)];
+    std::uint64_t pick = rng.uniform_u64(ways);
+    int chosen = -1;
+    for (int v = lo_; v <= hi_ && v <= remaining; ++v) {
+      const std::uint64_t sub =
+          counts_[static_cast<std::size_t>(p - 1)]
+                 [static_cast<std::size_t>(remaining - v)];
+      if (pick < sub) {
+        chosen = v;
+        break;
+      }
+      pick -= sub;
+    }
+    ESM_CHECK(chosen >= 0, "composition sampling fell off the table");
+    parts_out.push_back(chosen);
+    remaining -= chosen;
+  }
+  ESM_CHECK(remaining == 0, "composition sampling did not consume the total");
+  return parts_out;
+}
+
+std::uint64_t CompositionTable::total_count() const {
+  std::uint64_t acc = 0;
+  for (int t = min_total(); t <= max_total(); ++t) acc += count(t);
+  return acc;
+}
+
+}  // namespace esm

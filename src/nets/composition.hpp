@@ -1,0 +1,51 @@
+// Bounded-composition counting and exact uniform sampling.
+//
+// The balanced sampling strategy (paper §II-C.2) needs architectures whose
+// *total* block count lands in a prescribed depth bin. Per-unit depths are a
+// composition of the total into num_units parts, each within
+// [min_blocks, max_blocks]. CompositionTable counts those compositions with
+// a dynamic program and samples one uniformly at random, which — because
+// every block's feature choices are independent of depth — yields an exact
+// uniform sample over all architectures with that total depth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace esm {
+
+/// DP table over compositions of an integer into bounded parts.
+class CompositionTable {
+ public:
+  /// Compositions of totals into `parts` parts, each in [lo, hi].
+  /// Requires parts >= 1 and 1 <= lo <= hi.
+  CompositionTable(int parts, int lo, int hi);
+
+  int parts() const { return parts_; }
+  int lo() const { return lo_; }
+  int hi() const { return hi_; }
+  int min_total() const { return parts_ * lo_; }
+  int max_total() const { return parts_ * hi_; }
+
+  /// Number of compositions of `total`; 0 outside [min_total, max_total].
+  std::uint64_t count(int total) const;
+
+  /// Samples a composition of `total` uniformly at random.
+  /// Requires count(total) > 0.
+  std::vector<int> sample(int total, Rng& rng) const;
+
+  /// Total number of (depth-vector) choices across all totals, i.e.
+  /// (hi - lo + 1)^parts.
+  std::uint64_t total_count() const;
+
+ private:
+  int parts_;
+  int lo_;
+  int hi_;
+  // counts_[p][t] = compositions of t into p parts; t indexed from 0.
+  std::vector<std::vector<std::uint64_t>> counts_;
+};
+
+}  // namespace esm

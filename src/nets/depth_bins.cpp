@@ -1,0 +1,59 @@
+#include "nets/depth_bins.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace esm {
+
+DepthBins::DepthBins(int min_total, int max_total, int n_bins)
+    : min_total_(min_total), max_total_(max_total) {
+  ESM_REQUIRE(min_total <= max_total, "depth bin range is empty");
+  const int span = max_total - min_total + 1;
+  ESM_REQUIRE(n_bins >= 1 && n_bins <= span,
+              "n_bins " << n_bins << " must be in [1, " << span << "]");
+  const int base = span / n_bins;
+  const int extra = span % n_bins;
+  int lo = min_total;
+  for (int i = 0; i < n_bins; ++i) {
+    const int width = base + (i < extra ? 1 : 0);
+    bounds_.emplace_back(lo, lo + width - 1);
+    lo += width;
+  }
+  ESM_CHECK(bounds_.back().second == max_total, "bins do not tile the range");
+}
+
+DepthBins::DepthBins(const SupernetSpec& spec, int n_bins)
+    : DepthBins(spec.min_total_blocks(), spec.max_total_blocks(), n_bins) {}
+
+std::pair<int, int> DepthBins::bounds(int i) const {
+  ESM_REQUIRE(i >= 0 && i < size(), "bin index " << i << " out of range");
+  return bounds_[static_cast<std::size_t>(i)];
+}
+
+int DepthBins::bin_of(int total) const {
+  ESM_REQUIRE(total >= min_total_ && total <= max_total_,
+              "total " << total << " outside [" << min_total_ << ", "
+                       << max_total_ << "]");
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (total <= bounds_[i].second) return static_cast<int>(i);
+  }
+  ESM_CHECK(false, "bin_of fell through");
+  return -1;
+}
+
+std::vector<int> DepthBins::totals_in(int i) const {
+  const auto [lo, hi] = bounds(i);
+  std::vector<int> totals;
+  totals.reserve(static_cast<std::size_t>(hi - lo + 1));
+  for (int t = lo; t <= hi; ++t) totals.push_back(t);
+  return totals;
+}
+
+std::string DepthBins::label(int i) const {
+  const auto [lo, hi] = bounds(i);
+  if (lo == hi) return std::to_string(lo);
+  return std::to_string(lo) + "-" + std::to_string(hi);
+}
+
+}  // namespace esm

@@ -1,0 +1,47 @@
+// Equal-spaced depth bins over a space's total-block range (paper input
+// N_Bins). Shared by the balanced sampler, the bin-wise evaluator, and the
+// dataset-extension algorithm.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "nets/supernet.hpp"
+
+namespace esm {
+
+/// Partition of the inclusive integer range [min_total, max_total] into
+/// n_bins contiguous bins of (near-)equal width. When the range does not
+/// divide evenly, the leftover totals are spread one-per-bin from the left,
+/// so bin widths differ by at most one.
+class DepthBins {
+ public:
+  /// Requires 1 <= n_bins <= (max_total - min_total + 1).
+  DepthBins(int min_total, int max_total, int n_bins);
+
+  /// Convenience: bins over the total-block range of a space.
+  DepthBins(const SupernetSpec& spec, int n_bins);
+
+  int size() const { return static_cast<int>(bounds_.size()); }
+  int min_total() const { return min_total_; }
+  int max_total() const { return max_total_; }
+
+  /// Inclusive [lo, hi] total-block bounds of bin i.
+  std::pair<int, int> bounds(int i) const;
+
+  /// Index of the bin containing `total`. Requires total in range.
+  int bin_of(int total) const;
+
+  /// All totals covered by bin i, in ascending order.
+  std::vector<int> totals_in(int i) const;
+
+  /// Short label "4-9" for tables.
+  std::string label(int i) const;
+
+ private:
+  int min_total_;
+  int max_total_;
+  std::vector<std::pair<int, int>> bounds_;
+};
+
+}  // namespace esm

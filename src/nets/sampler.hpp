@@ -1,0 +1,103 @@
+// Architecture samplers (paper §II-C.1 and §II-C.2).
+//
+// RandomSampler draws each unit's depth uniformly and each block's features
+// uniformly — the paper's "random" strategy, whose total depth concentrates
+// Gaussian-like around the middle of the range by the central limit theorem.
+//
+// BalancedSampler counters that bias: it divides the total-depth range into
+// N_Bins equal bins and round-robins across them, drawing, within a bin, a
+// total uniformly, then an exact-uniform bounded composition of per-unit
+// depths (CompositionTable), then uniform block features. It also exposes
+// sample_in_bin() for the weighted dataset-extension step (Algo 1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nets/composition.hpp"
+#include "nets/depth_bins.hpp"
+#include "nets/supernet.hpp"
+
+namespace esm {
+
+/// Sampling strategy selector mirroring the paper's user input.
+enum class SamplingStrategy { kRandom, kBalanced };
+
+/// Parses "random" / "balanced" (case-insensitive).
+SamplingStrategy sampling_strategy_from_name(const std::string& name);
+const char* sampling_strategy_name(SamplingStrategy s);
+
+/// Draws uniform block features permitted by `spec` (kernel + expansion).
+BlockConfig random_block(const SupernetSpec& spec, Rng& rng);
+
+/// Fills a unit of the given depth with uniform block features, honouring
+/// per-unit kernel sharing for DenseNet-style spaces.
+UnitConfig random_unit(const SupernetSpec& spec, int depth, Rng& rng);
+
+/// Abstract architecture sampler.
+class ArchSampler {
+ public:
+  virtual ~ArchSampler() = default;
+
+  /// Draws one architecture from the space.
+  virtual ArchConfig sample(Rng& rng) = 0;
+
+  /// Draws n architectures.
+  std::vector<ArchConfig> sample_n(std::size_t n, Rng& rng);
+
+  virtual SamplingStrategy strategy() const = 0;
+  virtual const SupernetSpec& spec() const = 0;
+};
+
+/// Uniform per-unit-depth, uniform per-block-feature sampler.
+class RandomSampler final : public ArchSampler {
+ public:
+  explicit RandomSampler(SupernetSpec spec);
+
+  ArchConfig sample(Rng& rng) override;
+  SamplingStrategy strategy() const override {
+    return SamplingStrategy::kRandom;
+  }
+  const SupernetSpec& spec() const override { return spec_; }
+
+ private:
+  SupernetSpec spec_;
+};
+
+/// Depth-balanced sampler with exact-uniform conditional sampling.
+class BalancedSampler final : public ArchSampler {
+ public:
+  /// Requires 1 <= n_bins <= number of distinct totals.
+  BalancedSampler(SupernetSpec spec, int n_bins);
+
+  /// Round-robins across bins, so any window of n_bins consecutive calls
+  /// covers every bin exactly once.
+  ArchConfig sample(Rng& rng) override;
+
+  /// Draws an architecture whose total depth lies in bin `bin_index`.
+  ArchConfig sample_in_bin(int bin_index, Rng& rng);
+
+  /// Draws an architecture with an exact total block count.
+  ArchConfig sample_with_total(int total, Rng& rng);
+
+  SamplingStrategy strategy() const override {
+    return SamplingStrategy::kBalanced;
+  }
+  const SupernetSpec& spec() const override { return spec_; }
+  const DepthBins& bins() const { return bins_; }
+
+ private:
+  SupernetSpec spec_;
+  DepthBins bins_;
+  CompositionTable compositions_;
+  int next_bin_ = 0;
+};
+
+/// Factory mirroring the paper's "sampling strategy" user input.
+std::unique_ptr<ArchSampler> make_sampler(const SupernetSpec& spec,
+                                          SamplingStrategy strategy,
+                                          int n_bins);
+
+}  // namespace esm

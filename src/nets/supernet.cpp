@@ -1,0 +1,204 @@
+#include "nets/supernet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace esm {
+
+int SupernetSpec::combinations_per_block() const {
+  const int kernels = static_cast<int>(kernel_options.size());
+  const int expansions =
+      expansion_options.empty() ? 1 : static_cast<int>(expansion_options.size());
+  return kernels * expansions;
+}
+
+double SupernetSpec::space_cardinality() const {
+  // Per unit: sum over depth d of (choices per block-stack of depth d).
+  //  - per-block features: combos^d
+  //  - per-unit kernel (DenseNet): |kernels| choices regardless of depth.
+  double per_unit = 0.0;
+  for (int d = min_blocks_per_unit; d <= max_blocks_per_unit; ++d) {
+    if (kernel_per_unit) {
+      per_unit += static_cast<double>(kernel_options.size());
+    } else {
+      per_unit += std::pow(static_cast<double>(combinations_per_block()), d);
+    }
+  }
+  return std::pow(per_unit, num_units);
+}
+
+void SupernetSpec::validate(const ArchConfig& arch) const {
+  ESM_REQUIRE(arch.kind == kind,
+              "architecture kind " << supernet_kind_name(arch.kind)
+                                   << " does not match space "
+                                   << supernet_kind_name(kind));
+  ESM_REQUIRE(static_cast<int>(arch.units.size()) == num_units,
+              "architecture has " << arch.units.size() << " units, space "
+                                  << name << " expects " << num_units);
+  for (std::size_t ui = 0; ui < arch.units.size(); ++ui) {
+    const UnitConfig& u = arch.units[ui];
+    ESM_REQUIRE(u.depth() >= min_blocks_per_unit &&
+                    u.depth() <= max_blocks_per_unit,
+                "unit " << ui << " depth " << u.depth() << " outside ["
+                        << min_blocks_per_unit << ", " << max_blocks_per_unit
+                        << "]");
+    for (std::size_t bi = 0; bi < u.blocks.size(); ++bi) {
+      const BlockConfig& b = u.blocks[bi];
+      ESM_REQUIRE(std::find(kernel_options.begin(), kernel_options.end(),
+                            b.kernel) != kernel_options.end(),
+                  "unit " << ui << " block " << bi << " kernel " << b.kernel
+                          << " not an option");
+      if (!expansion_options.empty()) {
+        const bool known = std::any_of(
+            expansion_options.begin(), expansion_options.end(),
+            [&](double e) { return std::abs(e - b.expansion) < 1e-9; });
+        ESM_REQUIRE(known, "unit " << ui << " block " << bi << " expansion "
+                                   << b.expansion << " not an option");
+      }
+      if (kernel_per_unit && bi > 0) {
+        ESM_REQUIRE(b.kernel == u.blocks.front().kernel,
+                    "space " << name
+                             << " requires one kernel per unit; unit " << ui
+                             << " mixes kernels");
+      }
+    }
+  }
+}
+
+bool SupernetSpec::contains(const ArchConfig& arch) const {
+  try {
+    validate(arch);
+    return true;
+  } catch (const ConfigError&) {
+    return false;
+  }
+}
+
+void SupernetSpec::save(ArchiveWriter& archive,
+                        const std::string& prefix) const {
+  archive.put_string(prefix + ".kind", supernet_kind_name(kind));
+  archive.put_string(prefix + ".name", name);
+  archive.put_int(prefix + ".num_units", num_units);
+  archive.put_int(prefix + ".min_blocks", min_blocks_per_unit);
+  archive.put_int(prefix + ".max_blocks", max_blocks_per_unit);
+  std::vector<double> kernels(kernel_options.begin(), kernel_options.end());
+  archive.put_doubles(prefix + ".kernels", kernels);
+  archive.put_doubles(prefix + ".expansions", expansion_options);
+  archive.put_int(prefix + ".kernel_per_unit", kernel_per_unit ? 1 : 0);
+  std::vector<double> widths(stage_widths.begin(), stage_widths.end());
+  archive.put_doubles(prefix + ".stage_widths", widths);
+  archive.put_int(prefix + ".input_resolution", input_resolution);
+  archive.put_int(prefix + ".input_channels", input_channels);
+  archive.put_int(prefix + ".stem_width", stem_width);
+  archive.put_int(prefix + ".growth_rate", growth_rate);
+  archive.put_int(prefix + ".num_classes", num_classes);
+}
+
+SupernetSpec SupernetSpec::load(const ArchiveReader& archive,
+                                const std::string& prefix) {
+  SupernetSpec spec;
+  const std::string kind_name = archive.get_string(prefix + ".kind");
+  if (kind_name == "ResNet") spec.kind = SupernetKind::kResNet;
+  else if (kind_name == "MobileNetV3") spec.kind = SupernetKind::kMobileNetV3;
+  else if (kind_name == "DenseNet") spec.kind = SupernetKind::kDenseNet;
+  else throw ConfigError("archived spec has unknown kind: " + kind_name);
+  spec.name = archive.get_string(prefix + ".name");
+  spec.num_units = static_cast<int>(archive.get_int(prefix + ".num_units"));
+  spec.min_blocks_per_unit =
+      static_cast<int>(archive.get_int(prefix + ".min_blocks"));
+  spec.max_blocks_per_unit =
+      static_cast<int>(archive.get_int(prefix + ".max_blocks"));
+  spec.kernel_options.clear();
+  for (double k : archive.get_doubles(prefix + ".kernels")) {
+    spec.kernel_options.push_back(static_cast<int>(k));
+  }
+  spec.expansion_options = archive.get_doubles(prefix + ".expansions");
+  spec.kernel_per_unit = archive.get_int(prefix + ".kernel_per_unit") != 0;
+  spec.stage_widths.clear();
+  for (double w : archive.get_doubles(prefix + ".stage_widths")) {
+    spec.stage_widths.push_back(static_cast<int>(w));
+  }
+  spec.input_resolution =
+      static_cast<int>(archive.get_int(prefix + ".input_resolution"));
+  spec.input_channels =
+      static_cast<int>(archive.get_int(prefix + ".input_channels"));
+  spec.stem_width = static_cast<int>(archive.get_int(prefix + ".stem_width"));
+  spec.growth_rate =
+      static_cast<int>(archive.get_int(prefix + ".growth_rate"));
+  spec.num_classes =
+      static_cast<int>(archive.get_int(prefix + ".num_classes"));
+  return spec;
+}
+
+SupernetSpec resnet_spec() {
+  SupernetSpec s;
+  s.kind = SupernetKind::kResNet;
+  s.name = "ResNet";
+  s.num_units = 4;
+  s.min_blocks_per_unit = 1;
+  s.max_blocks_per_unit = 7;
+  s.kernel_options = {3, 5, 7};
+  s.expansion_options = {0.5, 2.0 / 3.0, 1.0};
+  s.kernel_per_unit = false;
+  s.stage_widths = {256, 512, 1024, 2048};
+  s.input_resolution = 224;
+  s.stem_width = 64;
+  return s;
+}
+
+SupernetSpec mobilenet_v3_spec() {
+  SupernetSpec s;
+  s.kind = SupernetKind::kMobileNetV3;
+  s.name = "MobileNetV3";
+  s.num_units = 4;
+  s.min_blocks_per_unit = 1;
+  s.max_blocks_per_unit = 7;
+  s.kernel_options = {3, 5, 7};
+  s.expansion_options = {0.5, 2.0 / 3.0, 1.0};
+  s.kernel_per_unit = false;
+  s.stage_widths = {16, 32, 64, 128};
+  s.input_resolution = 224;
+  s.stem_width = 16;
+  return s;
+}
+
+SupernetSpec densenet_spec() {
+  SupernetSpec s;
+  s.kind = SupernetKind::kDenseNet;
+  s.name = "DenseNet";
+  s.num_units = 5;
+  s.min_blocks_per_unit = 1;
+  s.max_blocks_per_unit = 20;
+  s.kernel_options = {1, 3, 5, 7, 9};
+  s.expansion_options = {};  // no width-expansion dimension
+  s.kernel_per_unit = true;
+  s.stage_widths = {};  // widths grow with depth via the growth rate
+  s.input_resolution = 224;
+  s.stem_width = 64;
+  s.growth_rate = 32;
+  return s;
+}
+
+SupernetSpec spec_for(SupernetKind kind) {
+  switch (kind) {
+    case SupernetKind::kResNet: return resnet_spec();
+    case SupernetKind::kMobileNetV3: return mobilenet_v3_spec();
+    case SupernetKind::kDenseNet: return densenet_spec();
+  }
+  throw ConfigError("unknown supernet kind");
+}
+
+SupernetSpec spec_by_name(const std::string& name) {
+  const std::string lower = to_lower(name);
+  if (lower == "resnet") return resnet_spec();
+  if (lower == "mobilenetv3" || lower == "mobilenet") {
+    return mobilenet_v3_spec();
+  }
+  if (lower == "densenet") return densenet_spec();
+  throw ConfigError("unknown supernet name: " + name);
+}
+
+}  // namespace esm

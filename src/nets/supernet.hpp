@@ -1,0 +1,87 @@
+// Supernet space specifications (paper Table I).
+//
+// A SupernetSpec describes one layer/block-wise search space over a fixed
+// macro-architecture: the number of units, the per-unit depth range, the
+// per-block feature options (kernel size, width-expansion ratio), the fixed
+// stage widths, and the lowering parameters (input resolution, stem width,
+// DenseNet growth rate). Factory functions reproduce the paper's three
+// spaces exactly, including their cardinalities (8.38e26, 8.38e26, 1e10).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/archive.hpp"
+#include "nets/arch.hpp"
+
+namespace esm {
+
+/// Full description of one architecture search space.
+struct SupernetSpec {
+  SupernetKind kind = SupernetKind::kResNet;
+  std::string name;
+
+  int num_units = 0;
+  int min_blocks_per_unit = 1;
+  int max_blocks_per_unit = 1;
+  std::vector<int> kernel_options;
+  std::vector<double> expansion_options;  ///< empty when the space has none
+  /// If true (DenseNet) one kernel is chosen per unit and applied to every
+  /// block of that unit; otherwise kernels vary per block.
+  bool kernel_per_unit = false;
+
+  /// Fixed output width of each unit (Table I "Stage Width List"); for
+  /// DenseNet this is unused (widths grow with depth) and left empty.
+  std::vector<int> stage_widths;
+
+  // --- lowering parameters (fixed macro-architecture details) ---
+  int input_resolution = 224;
+  int input_channels = 3;
+  int stem_width = 64;
+  int growth_rate = 32;    ///< DenseNet growth rate k
+  int num_classes = 1000;
+
+  /// Minimum / maximum total block count over all units.
+  int min_total_blocks() const { return num_units * min_blocks_per_unit; }
+  int max_total_blocks() const { return num_units * max_blocks_per_unit; }
+
+  /// Number of distinct block-feature combinations (|kernels| x |expansions|,
+  /// or |kernels| when the space has no expansion dimension).
+  int combinations_per_block() const;
+
+  /// Exact cardinality of the search space as a double (values reach 1e26).
+  double space_cardinality() const;
+
+  /// Throws esm::ConfigError if `arch` does not belong to this space.
+  void validate(const ArchConfig& arch) const;
+
+  /// True if `arch` belongs to this space (non-throwing form).
+  bool contains(const ArchConfig& arch) const;
+
+  /// Persists every field of the spec.
+  void save(ArchiveWriter& archive, const std::string& prefix) const;
+
+  /// Restores a spec saved with save().
+  static SupernetSpec load(const ArchiveReader& archive,
+                           const std::string& prefix);
+};
+
+/// The paper's ResNet space: 4 units, 1-7 blocks, kernels {3,5,7},
+/// expansions {1/2, 2/3, 1}, widths [256, 512, 1024, 2048].
+SupernetSpec resnet_spec();
+
+/// The paper's MobileNetV3 space: 4 units, 1-7 blocks, kernels {3,5,7},
+/// expansions {1/2, 2/3, 1}, widths [16, 32, 64, 128].
+SupernetSpec mobilenet_v3_spec();
+
+/// The paper's DenseNet space: 5 units, 1-20 blocks, per-unit kernels
+/// {1,3,5,7,9}, no expansion dimension.
+SupernetSpec densenet_spec();
+
+/// Spec factory by kind.
+SupernetSpec spec_for(SupernetKind kind);
+
+/// Spec factory by lower-case name ("resnet", "mobilenetv3", "densenet").
+SupernetSpec spec_by_name(const std::string& name);
+
+}  // namespace esm

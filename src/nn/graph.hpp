@@ -1,0 +1,50 @@
+// Linearized layer graph: the execution trace of one concrete network.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace esm {
+
+/// Execution-ordered sequence of layers with aggregate analysis.
+class LayerGraph {
+ public:
+  LayerGraph() = default;
+  explicit LayerGraph(std::string name) : name_(std::move(name)) {}
+
+  /// Appends a layer; validates that its shapes are positive and, for
+  /// non-first layers, notes the graph's running output shape is advanced
+  /// by the builders, not enforced here (concat/add have two inputs).
+  void add(Layer layer);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::vector<Layer>& layers() const { return layers_; }
+  std::size_t size() const { return layers_.size(); }
+  bool empty() const { return layers_.empty(); }
+  const Layer& operator[](std::size_t i) const { return layers_[i]; }
+
+  /// Total multiply-accumulate FLOPs over all layers.
+  double total_flops() const;
+
+  /// Total trainable parameters.
+  double total_params() const;
+
+  /// Total worst-case memory traffic in bytes.
+  double total_memory_bytes() const;
+
+  /// Number of layers of a given kind.
+  std::size_t count_kind(LayerKind kind) const;
+
+  /// Multi-line human-readable dump (one layer per line).
+  std::string summary() const;
+
+ private:
+  std::string name_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace esm

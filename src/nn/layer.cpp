@@ -1,0 +1,107 @@
+#include "nn/layer.hpp"
+
+#include "common/error.hpp"
+
+namespace esm {
+namespace {
+constexpr double kBytesPerElement = 4.0;  // fp32 activations and weights
+}
+
+const char* layer_kind_name(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConv2d: return "conv2d";
+    case LayerKind::kDepthwiseConv: return "dwconv";
+    case LayerKind::kFullyConnected: return "fc";
+    case LayerKind::kBatchNorm: return "batchnorm";
+    case LayerKind::kRelu: return "relu";
+    case LayerKind::kHSwish: return "hswish";
+    case LayerKind::kMaxPool: return "maxpool";
+    case LayerKind::kAvgPool: return "avgpool";
+    case LayerKind::kGlobalAvgPool: return "gap";
+    case LayerKind::kAdd: return "add";
+    case LayerKind::kConcat: return "concat";
+    case LayerKind::kScale: return "scale";
+  }
+  return "unknown";
+}
+
+double Layer::flops() const {
+  const double out_elems = static_cast<double>(output.elements());
+  const double in_elems = static_cast<double>(input.elements());
+  switch (kind) {
+    case LayerKind::kConv2d: {
+      const double macs_per_out =
+          static_cast<double>(input.channels) / groups * kernel * kernel;
+      return 2.0 * out_elems * macs_per_out + (has_bias ? out_elems : 0.0);
+    }
+    case LayerKind::kDepthwiseConv:
+      return 2.0 * out_elems * kernel * kernel +
+             (has_bias ? out_elems : 0.0);
+    case LayerKind::kFullyConnected:
+      return 2.0 * in_elems * output.channels +
+             (has_bias ? static_cast<double>(output.channels) : 0.0);
+    case LayerKind::kBatchNorm:
+      return 2.0 * out_elems;  // fused scale + shift
+    case LayerKind::kRelu:
+      return out_elems;
+    case LayerKind::kHSwish:
+      return 4.0 * out_elems;  // x * relu6(x + 3) / 6
+    case LayerKind::kMaxPool:
+    case LayerKind::kAvgPool:
+      return out_elems * kernel * kernel;
+    case LayerKind::kGlobalAvgPool:
+      return in_elems;
+    case LayerKind::kAdd:
+      return out_elems;
+    case LayerKind::kConcat:
+      return 0.0;  // pure data movement
+    case LayerKind::kScale:
+      return out_elems;
+  }
+  return 0.0;
+}
+
+double Layer::params() const {
+  switch (kind) {
+    case LayerKind::kConv2d: {
+      const double weights = static_cast<double>(output.channels) *
+                             input.channels / groups * kernel * kernel;
+      return weights + (has_bias ? output.channels : 0.0);
+    }
+    case LayerKind::kDepthwiseConv: {
+      const double weights =
+          static_cast<double>(output.channels) * kernel * kernel;
+      return weights + (has_bias ? output.channels : 0.0);
+    }
+    case LayerKind::kFullyConnected: {
+      const double weights = static_cast<double>(input.elements()) *
+                             output.channels;
+      return weights + (has_bias ? output.channels : 0.0);
+    }
+    case LayerKind::kBatchNorm:
+      return 2.0 * output.channels;  // gamma + beta
+    default:
+      return 0.0;
+  }
+}
+
+double Layer::read_bytes() const {
+  const double in_bytes =
+      static_cast<double>(input.elements()) * kBytesPerElement;
+  const double aux_bytes =
+      static_cast<double>(aux_input.elements()) * kBytesPerElement;
+  const double weight_bytes = params() * kBytesPerElement;
+  return in_bytes + aux_bytes + weight_bytes;
+}
+
+double Layer::write_bytes() const {
+  return static_cast<double>(output.elements()) * kBytesPerElement;
+}
+
+double Layer::arithmetic_intensity() const {
+  const double bytes = memory_bytes();
+  if (bytes <= 0.0) return 0.0;
+  return flops() / bytes;
+}
+
+}  // namespace esm

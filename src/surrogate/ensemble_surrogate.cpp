@@ -1,0 +1,62 @@
+#include "surrogate/ensemble_surrogate.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace esm {
+
+EnsembleSurrogate::EnsembleSurrogate(EncodingKind encoding,
+                                     const SupernetSpec& spec,
+                                     TrainConfig train_config,
+                                     std::size_t members, std::uint64_t seed) {
+  ESM_REQUIRE(members >= 2, "an ensemble needs at least two members");
+  members_.reserve(members);
+  for (std::size_t i = 0; i < members; ++i) {
+    members_.push_back(std::make_unique<MlpSurrogate>(
+        make_encoder(encoding, spec), train_config,
+        seed + 0x9e37ull * (i + 1)));
+  }
+}
+
+bool EnsembleSurrogate::fitted() const {
+  for (const auto& member : members_) {
+    if (!member->fitted()) return false;
+  }
+  return true;
+}
+
+void EnsembleSurrogate::fit(std::span<const ArchConfig> archs,
+                            std::span<const double> latencies_ms) {
+  for (auto& member : members_) {
+    member->fit(archs, latencies_ms);
+  }
+}
+
+EnsemblePrediction EnsembleSurrogate::predict_with_uncertainty(
+    const ArchConfig& arch) const {
+  ESM_REQUIRE(fitted(), "EnsembleSurrogate used before fit()");
+  double sum = 0.0, sum_sq = 0.0;
+  for (const auto& member : members_) {
+    const double p = member->predict_ms(arch);
+    sum += p;
+    sum_sq += p * p;
+  }
+  const double n = static_cast<double>(members_.size());
+  EnsemblePrediction pred;
+  pred.mean_ms = sum / n;
+  const double var = sum_sq / n - pred.mean_ms * pred.mean_ms;
+  pred.stddev_ms = var > 0.0 ? std::sqrt(var) : 0.0;
+  return pred;
+}
+
+double EnsembleSurrogate::predict_ms(const ArchConfig& arch) const {
+  return predict_with_uncertainty(arch).mean_ms;
+}
+
+std::string EnsembleSurrogate::name() const {
+  return "Ensemble(" + std::to_string(members_.size()) + ")x" +
+         members_.front()->name();
+}
+
+}  // namespace esm

@@ -1,0 +1,52 @@
+// Deep-ensemble latency surrogate: k independently initialized MLP
+// surrogates over the same encoding. The ensemble mean is the prediction;
+// the ensemble spread is a predictive-uncertainty estimate, which enables
+// uncertainty-guided dataset extension (an extension of the paper's
+// Algorithm 1 explored in bench/extension_active_sampling).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "encoding/encoder.hpp"
+#include "ml/trainer.hpp"
+#include "surrogate/mlp_surrogate.hpp"
+
+namespace esm {
+
+/// Mean/spread of an ensemble prediction.
+struct EnsemblePrediction {
+  double mean_ms = 0.0;
+  double stddev_ms = 0.0;  ///< disagreement between ensemble members
+};
+
+/// k-member MLP ensemble sharing one encoding.
+class EnsembleSurrogate final : public LatencyPredictor {
+ public:
+  /// Creates `members` MLP surrogates over fresh encoder instances of the
+  /// given kind; member i uses seed `seed + i`.
+  EnsembleSurrogate(EncodingKind encoding, const SupernetSpec& spec,
+                    TrainConfig train_config, std::size_t members,
+                    std::uint64_t seed);
+
+  /// Trains every member on the same data (they differ by initialization
+  /// and minibatch order only — a standard deep ensemble).
+  void fit(std::span<const ArchConfig> archs,
+           std::span<const double> latencies_ms);
+
+  /// Mean prediction with the ensemble-disagreement uncertainty.
+  EnsemblePrediction predict_with_uncertainty(const ArchConfig& arch) const;
+
+  double predict_ms(const ArchConfig& arch) const override;
+  std::string name() const override;
+
+  std::size_t member_count() const { return members_.size(); }
+  bool fitted() const;
+
+ private:
+  std::vector<std::unique_ptr<MlpSurrogate>> members_;
+};
+
+}  // namespace esm

@@ -1,0 +1,35 @@
+// Hardware-agnostic FLOPs proxy (the earliest class of NAS latency
+// estimators the paper's introduction criticizes). Predicts latency as an
+// affine function of total FLOPs, optionally calibrated on measured pairs.
+#pragma once
+
+#include <span>
+
+#include "nets/builder.hpp"
+#include "nets/supernet.hpp"
+#include "surrogate/predictor.hpp"
+
+namespace esm {
+
+/// latency ≈ a * GFLOPs + b.
+class FlopsProxy final : public LatencyPredictor {
+ public:
+  explicit FlopsProxy(SupernetSpec spec);
+
+  /// Calibrates the affine map on measured pairs (least squares).
+  void fit(std::span<const ArchConfig> archs,
+           std::span<const double> measured_ms);
+
+  /// Total GFLOPs of an architecture (the raw proxy value).
+  double gflops(const ArchConfig& arch) const;
+
+  double predict_ms(const ArchConfig& arch) const override;
+  std::string name() const override { return "FLOPs-proxy"; }
+
+ private:
+  SupernetSpec spec_;
+  double scale_ = 1.0;   // ms per GFLOP before calibration
+  double offset_ = 0.0;
+};
+
+}  // namespace esm

@@ -1,0 +1,80 @@
+#include "surrogate/gcn_surrogate.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace esm {
+
+GcnSurrogate::GcnSurrogate(SupernetSpec spec, GcnConfig config)
+    : spec_(std::move(spec)),
+      config_(config),
+      gcn_(node_feature_dim(), config) {}
+
+std::size_t GcnSurrogate::node_feature_dim() const {
+  const std::size_t expansions =
+      spec_.expansion_options.empty() ? 0 : spec_.expansion_options.size();
+  return static_cast<std::size_t>(spec_.num_units) + 2 +
+         spec_.kernel_options.size() + expansions;
+}
+
+Matrix GcnSurrogate::node_features(const ArchConfig& arch) const {
+  spec_.validate(arch);
+  const std::size_t n = static_cast<std::size_t>(arch.total_blocks());
+  Matrix features(n, node_feature_dim());
+  const std::size_t kernels = spec_.kernel_options.size();
+  const std::size_t units = static_cast<std::size_t>(spec_.num_units);
+  std::size_t row = 0;
+  for (std::size_t ui = 0; ui < arch.units.size(); ++ui) {
+    const UnitConfig& unit = arch.units[ui];
+    for (std::size_t bi = 0; bi < unit.blocks.size(); ++bi, ++row) {
+      const BlockConfig& block = unit.blocks[bi];
+      auto dst = features.row(row);
+      dst[ui] = 1.0;  // unit one-hot
+      dst[units] =
+          static_cast<double>(bi) / static_cast<double>(spec_.max_blocks_per_unit);
+      dst[units + 1] = bi == 0 ? 1.0 : 0.0;  // stride/projection position
+      for (std::size_t k = 0; k < kernels; ++k) {
+        if (spec_.kernel_options[k] == block.kernel) {
+          dst[units + 2 + k] = 1.0;
+        }
+      }
+      if (!spec_.expansion_options.empty()) {
+        for (std::size_t e = 0; e < spec_.expansion_options.size(); ++e) {
+          if (std::abs(spec_.expansion_options[e] - block.expansion) < 1e-9) {
+            dst[units + 2 + kernels + e] = 1.0;
+          }
+        }
+      }
+    }
+  }
+  ESM_CHECK(row == n, "node feature rows mismatch");
+  return features;
+}
+
+void GcnSurrogate::fit(std::span<const ArchConfig> archs,
+                       std::span<const double> latencies_ms) {
+  ESM_REQUIRE(archs.size() == latencies_ms.size(),
+              "GcnSurrogate::fit data mismatch");
+  ESM_REQUIRE(!archs.empty(), "GcnSurrogate::fit requires data");
+  std::vector<Matrix> graphs;
+  graphs.reserve(archs.size());
+  for (const ArchConfig& arch : archs) {
+    graphs.push_back(node_features(arch));
+  }
+  target_scaler_.fit(latencies_ms);
+  std::vector<double> targets(latencies_ms.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    targets[i] = target_scaler_.transform(latencies_ms[i]);
+  }
+  gcn_ = GcnRegressor(node_feature_dim(), config_);
+  gcn_.fit(graphs, targets);
+}
+
+double GcnSurrogate::predict_ms(const ArchConfig& arch) const {
+  ESM_REQUIRE(fitted(), "GcnSurrogate used before fit()");
+  return target_scaler_.inverse(gcn_.predict(node_features(arch)));
+}
+
+}  // namespace esm

@@ -1,0 +1,50 @@
+// GCN-based latency surrogate (the graph-encoding predictor family of the
+// paper's related work [14][19]).
+//
+// The architecture is represented as a chain graph whose nodes are blocks
+// in execution order; node features describe the block's unit, position,
+// and searchable parameters. A two-layer GCN with mean-pool readout
+// regresses (standardized) latency. Variable-depth architectures map to
+// variable-length graphs naturally — no per-slot padding as in the one-hot
+// and feature encodings.
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/standardizer.hpp"
+#include "ml/gcn.hpp"
+#include "nets/supernet.hpp"
+#include "surrogate/predictor.hpp"
+
+namespace esm {
+
+/// Chain-graph GCN surrogate over one architecture space.
+class GcnSurrogate final : public LatencyPredictor {
+ public:
+  GcnSurrogate(SupernetSpec spec, GcnConfig config);
+
+  /// Per-node feature width for this space:
+  /// [unit one-hot | position fraction | first-of-unit flag |
+  ///  kernel one-hot | expansion one-hot (if any)].
+  std::size_t node_feature_dim() const;
+
+  /// Builds the node-feature matrix of one architecture (rows = blocks).
+  Matrix node_features(const ArchConfig& arch) const;
+
+  /// Trains from scratch on architecture/latency pairs.
+  void fit(std::span<const ArchConfig> archs,
+           std::span<const double> latencies_ms);
+
+  double predict_ms(const ArchConfig& arch) const override;
+  std::string name() const override { return "GCN"; }
+
+  bool fitted() const { return gcn_.fitted(); }
+
+ private:
+  SupernetSpec spec_;
+  GcnConfig config_;
+  GcnRegressor gcn_;
+  TargetScaler target_scaler_;
+};
+
+}  // namespace esm

@@ -1,0 +1,77 @@
+#include "surrogate/lut_surrogate.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace esm {
+
+LutSurrogate::LutSurrogate(SupernetSpec spec, SimulatedDevice& device)
+    : spec_(std::move(spec)), device_(&device) {}
+
+std::string LutSurrogate::signature(const Layer& layer) {
+  std::ostringstream os;
+  os << layer_kind_name(layer.kind) << ':' << layer.kernel << ':'
+     << layer.stride << ':' << layer.groups << ':' << layer.input.channels
+     << 'x' << layer.input.height << 'x' << layer.input.width << ':'
+     << layer.aux_input.channels << ':' << layer.output.channels << 'x'
+     << layer.output.height << 'x' << layer.output.width;
+  return os.str();
+}
+
+double LutSurrogate::layer_cost_ms(const Layer& layer) const {
+  const std::string key = signature(layer);
+  const auto it = table_.find(key);
+  if (it != table_.end()) return it->second;
+
+  // Profile the layer in isolation: a single-kernel probe graph measured
+  // with the full protocol (warm-up + 150 runs + trimmed mean). The probe
+  // runs cold and unfused, exactly like a real isolated-kernel profiling
+  // pass — which is precisely why the additive sum mispredicts networks
+  // whose element-wise layers execute as fused epilogues.
+  LayerGraph probe("probe:" + layer.name);
+  probe.add(layer);
+  const double measured = device_->measure_ms(probe);
+  table_.emplace(key, measured);
+  return measured;
+}
+
+double LutSurrogate::lut_ms(const ArchConfig& arch) const {
+  const LayerGraph graph = build_graph(spec_, arch);
+  double total = 0.0;
+  for (const Layer& layer : graph.layers()) {
+    total += layer_cost_ms(layer);
+  }
+  return total;
+}
+
+void LutSurrogate::warm_table(std::span<const ArchConfig> archs) {
+  for (const ArchConfig& arch : archs) (void)lut_ms(arch);
+}
+
+void LutSurrogate::fit_bias_correction(std::span<const ArchConfig> archs,
+                                       std::span<const double> measured_ms) {
+  ESM_REQUIRE(archs.size() == measured_ms.size(),
+              "bias-correction data mismatch");
+  ESM_REQUIRE(archs.size() >= 2, "bias correction needs >= 2 samples");
+  Matrix x(archs.size(), 1);
+  for (std::size_t i = 0; i < archs.size(); ++i) {
+    x(i, 0) = lut_ms(archs[i]);
+  }
+  LinearRegression reg;
+  reg.fit(x, measured_ms);
+  bias_correction_ = std::move(reg);
+}
+
+double LutSurrogate::predict_ms(const ArchConfig& arch) const {
+  const double raw = lut_ms(arch);
+  if (!bias_correction_) return raw;
+  const double features[1] = {raw};
+  return bias_correction_->predict_one(features);
+}
+
+std::string LutSurrogate::name() const {
+  return bias_corrected() ? "LUT+BC" : "LUT";
+}
+
+}  // namespace esm

@@ -1,0 +1,79 @@
+// Lookup-table latency surrogate (the paper's additive baseline).
+//
+// "Lookup table-based techniques use an additive model where latency of
+// each individual layer is taken from the lookup table (defined through
+// profiling) and then the latencies of all the layers are accumulated"
+// (paper §I). We reproduce that faithfully at layer granularity: every
+// structurally-distinct layer is measured ONCE on the simulated device as a
+// standalone single-kernel probe (cold caches, no fusion context — exactly
+// the isolation error real layer LUTs suffer), memoized by a structural
+// signature, and summed over the network's layers.
+//
+// The additive sum systematically mispredicts because whole-network
+// execution fuses element-wise layers into the preceding kernel's epilogue
+// and warms caches across layer boundaries — the "complex interactions
+// between layers" the paper says LUTs cannot capture.
+// fit_bias_correction() fits the paper's linear-regression correction
+// (measured ≈ a * lut + b) on a calibration set.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hwsim/measurement.hpp"
+#include "ml/linreg.hpp"
+#include "nets/builder.hpp"
+#include "nets/supernet.hpp"
+#include "surrogate/predictor.hpp"
+
+namespace esm {
+
+/// Additive block-wise lookup-table surrogate with optional bias correction.
+class LutSurrogate final : public LatencyPredictor {
+ public:
+  /// Borrows the device for profiling; the device must outlive the
+  /// surrogate. Profiling happens lazily (memoized) on first use of each
+  /// block type and is charged to the device's measurement-cost account.
+  LutSurrogate(SupernetSpec spec, SimulatedDevice& device);
+
+  /// Uncorrected additive LUT prediction.
+  double lut_ms(const ArchConfig& arch) const;
+
+  /// Fits the linear bias correction on a calibration set of architectures
+  /// with measured latencies.
+  void fit_bias_correction(std::span<const ArchConfig> archs,
+                           std::span<const double> measured_ms);
+
+  /// Removes the bias correction (back to the raw additive model).
+  void clear_bias_correction() { bias_correction_.reset(); }
+  bool bias_corrected() const { return bias_correction_.has_value(); }
+
+  double predict_ms(const ArchConfig& arch) const override;
+  std::string name() const override;
+
+  /// Number of distinct layer types profiled so far.
+  std::size_t table_size() const { return table_.size(); }
+
+  /// Pre-profiles every layer type appearing in `archs`.
+  void warm_table(std::span<const ArchConfig> archs);
+
+ private:
+  /// Position-independent structural key of a layer (kind, kernel, stride,
+  /// shapes), so identical layers share one table entry.
+  static std::string signature(const Layer& layer);
+
+  /// Table entry for one layer, profiling a single-kernel probe on first
+  /// use.
+  double layer_cost_ms(const Layer& layer) const;
+
+  SupernetSpec spec_;
+  SimulatedDevice* device_;  // non-owning
+  mutable std::map<std::string, double> table_;
+  std::optional<LinearRegression> bias_correction_;
+};
+
+}  // namespace esm

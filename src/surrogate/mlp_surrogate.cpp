@@ -1,0 +1,103 @@
+#include "surrogate/mlp_surrogate.hpp"
+
+#include <vector>
+
+#include "common/archive.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace esm {
+
+MlpSurrogate::MlpSurrogate(std::unique_ptr<Encoder> encoder,
+                           TrainConfig train_config, std::uint64_t seed)
+    : encoder_(std::move(encoder)),
+      train_config_(train_config),
+      seed_(seed) {
+  ESM_REQUIRE(encoder_ != nullptr, "MlpSurrogate requires an encoder");
+}
+
+TrainResult MlpSurrogate::fit(std::span<const ArchConfig> archs,
+                              std::span<const double> latencies_ms) {
+  ESM_REQUIRE(archs.size() == latencies_ms.size(),
+              "MlpSurrogate::fit data mismatch");
+  ESM_REQUIRE(!archs.empty(), "MlpSurrogate::fit requires data");
+
+  const Matrix raw = encoder_->encode_all(archs);
+  input_standardizer_.fit(raw);
+  const Matrix x = input_standardizer_.transform(raw);
+
+  target_scaler_.fit(latencies_ms);
+  std::vector<double> y(latencies_ms.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = target_scaler_.transform(latencies_ms[i]);
+  }
+
+  Rng init_rng(seed_);
+  mlp_.emplace(Mlp::paper_predictor(encoder_->dimension(), init_rng));
+  TrainConfig cfg = train_config_;
+  cfg.shuffle_seed = seed_ ^ 0x5eedf00dull;
+  MlpTrainer trainer(cfg);
+  return trainer.fit(*mlp_, x, y);
+}
+
+double MlpSurrogate::predict_ms(const ArchConfig& arch) const {
+  ESM_REQUIRE(fitted(), "MlpSurrogate used before fit()");
+  std::vector<double> z = encoder_->encode(arch);
+  input_standardizer_.transform_row(z);
+  const double standardized = mlp_->predict_one(z);
+  return target_scaler_.inverse(standardized);
+}
+
+std::string MlpSurrogate::name() const {
+  return "MLP+" + encoder_->name();
+}
+
+void MlpSurrogate::save(const std::string& path) const {
+  ESM_REQUIRE(fitted(), "cannot save an unfitted MlpSurrogate");
+  ArchiveWriter archive;
+  archive.put_string("model", "mlp-surrogate");
+  archive.put_string("encoding", encoder_->name());
+  encoder_->spec().save(archive, "spec");
+  archive.put_doubles("input.means", input_standardizer_.means());
+  archive.put_doubles("input.scales", input_standardizer_.scales());
+  archive.put_double("target.mean", target_scaler_.mean());
+  archive.put_double("target.scale", target_scaler_.scale());
+  archive.put_int("train.epochs", train_config_.epochs);
+  archive.put_int("train.batch_size",
+                  static_cast<long long>(train_config_.batch_size));
+  archive.put_double("train.learning_rate",
+                     train_config_.adam.learning_rate);
+  archive.put_double("train.weight_decay", train_config_.adam.weight_decay);
+  archive.put_int("seed", static_cast<long long>(seed_));
+  mlp_->save(archive, "mlp");
+  archive.save(path);
+}
+
+MlpSurrogate MlpSurrogate::load(const std::string& path) {
+  const ArchiveReader archive = ArchiveReader::from_file(path);
+  ESM_REQUIRE(archive.get_string("model") == "mlp-surrogate",
+              "archive does not hold an MLP surrogate: " << path);
+  const SupernetSpec spec = SupernetSpec::load(archive, "spec");
+  const EncodingKind kind =
+      encoding_kind_from_name(archive.get_string("encoding"));
+
+  TrainConfig train;
+  train.epochs = static_cast<int>(archive.get_int("train.epochs"));
+  train.batch_size =
+      static_cast<std::size_t>(archive.get_int("train.batch_size"));
+  train.adam.learning_rate = archive.get_double("train.learning_rate");
+  train.adam.weight_decay = archive.get_double("train.weight_decay");
+
+  MlpSurrogate surrogate(make_encoder(kind, spec), train,
+                         static_cast<std::uint64_t>(archive.get_int("seed")));
+  surrogate.input_standardizer_.set_state(archive.get_doubles("input.means"),
+                                          archive.get_doubles("input.scales"));
+  surrogate.target_scaler_.set_state(archive.get_double("target.mean"),
+                                     archive.get_double("target.scale"));
+  surrogate.mlp_.emplace(Mlp::load(archive, "mlp"));
+  ESM_REQUIRE(surrogate.mlp_->input_dim() == surrogate.encoder_->dimension(),
+              "archived MLP input dim does not match the encoder");
+  return surrogate;
+}
+
+}  // namespace esm

@@ -1,0 +1,56 @@
+// MLP-based latency surrogate: encoder + input standardization + target
+// scaling + the paper's 3-layer/64-hidden MLP trained with Adam on MSE.
+// fit() retrains from scratch (the ESM loop retrains after every dataset
+// extension, as in the paper).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "encoding/encoder.hpp"
+#include "linalg/standardizer.hpp"
+#include "ml/mlp.hpp"
+#include "ml/trainer.hpp"
+#include "surrogate/predictor.hpp"
+
+namespace esm {
+
+/// Encoder-fronted MLP regression surrogate.
+class MlpSurrogate final : public LatencyPredictor {
+ public:
+  /// Takes ownership of the encoder. `seed` controls weight initialization
+  /// and minibatch shuffling, making fits reproducible.
+  MlpSurrogate(std::unique_ptr<Encoder> encoder, TrainConfig train_config,
+               std::uint64_t seed);
+
+  /// Trains from scratch on architecture/latency pairs; returns trainer
+  /// telemetry (including wall-clock seconds, used by the Fig. 4a bench).
+  TrainResult fit(std::span<const ArchConfig> archs,
+                  std::span<const double> latencies_ms);
+
+  double predict_ms(const ArchConfig& arch) const override;
+  std::string name() const override;
+
+  /// Persists a fitted surrogate (encoder identity + space spec +
+  /// standardizers + MLP weights) to a portable archive file.
+  void save(const std::string& path) const;
+
+  /// Restores a surrogate saved with save(); ready to predict immediately.
+  static MlpSurrogate load(const std::string& path);
+
+  bool fitted() const { return mlp_.has_value(); }
+  const Encoder& encoder() const { return *encoder_; }
+  const TrainConfig& train_config() const { return train_config_; }
+
+ private:
+  std::unique_ptr<Encoder> encoder_;
+  TrainConfig train_config_;
+  std::uint64_t seed_;
+  Standardizer input_standardizer_;
+  TargetScaler target_scaler_;
+  std::optional<Mlp> mlp_;
+};
+
+}  // namespace esm

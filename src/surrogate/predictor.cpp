@@ -1,0 +1,13 @@
+#include "surrogate/predictor.hpp"
+
+namespace esm {
+
+std::vector<double> LatencyPredictor::predict_all(
+    std::span<const ArchConfig> archs) const {
+  std::vector<double> out;
+  out.reserve(archs.size());
+  for (const ArchConfig& arch : archs) out.push_back(predict_ms(arch));
+  return out;
+}
+
+}  // namespace esm

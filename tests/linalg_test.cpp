@@ -1,0 +1,297 @@
+// Unit tests for src/linalg: Matrix, GEMM variants, Cholesky, ridge least
+// squares, and standardization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/solve.hpp"
+#include "linalg/standardizer.hpp"
+
+namespace esm {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.normal();
+  }
+  return m;
+}
+
+/// Naive reference GEMM.
+Matrix naive_mul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(k, j);
+      out(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+void expect_matrix_near(const Matrix& a, const Matrix& b, double tol) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_NEAR(a(i, j), b(i, j), tol) << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(m(i, j), 0.0);
+  }
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+}
+
+TEST(MatrixTest, FromRowsAndIdentity) {
+  const Matrix m = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  const Matrix id = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(id(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+}
+
+TEST(MatrixTest, FromRowsRejectsRagged) {
+  EXPECT_THROW(Matrix::from_rows({{1.0}, {1.0, 2.0}}), ConfigError);
+}
+
+TEST(MatrixTest, RowSpanIsView) {
+  Matrix m(2, 2);
+  auto row = m.row(1);
+  row[0] = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 7.0);
+}
+
+TEST(MatrixTest, FillAndApply) {
+  Matrix m(2, 2);
+  m.fill(2.0);
+  m.apply([](double x) { return x * x + 1.0; });
+  EXPECT_DOUBLE_EQ(m(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 5.0);
+}
+
+TEST(MatrixTest, AddScaled) {
+  Matrix a = Matrix::from_rows({{1.0, 2.0}});
+  const Matrix b = Matrix::from_rows({{10.0, 20.0}});
+  a.add_scaled(b, 0.5);
+  EXPECT_DOUBLE_EQ(a(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 12.0);
+}
+
+TEST(MatrixTest, Transposed) {
+  const Matrix m = Matrix::from_rows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  const Matrix m = Matrix::from_rows({{3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+}
+
+TEST(GemmTest, MatchesNaiveReference) {
+  Rng rng(1);
+  const Matrix a = random_matrix(7, 5, rng);
+  const Matrix b = random_matrix(5, 9, rng);
+  Matrix out;
+  gemm(a, b, out);
+  expect_matrix_near(out, naive_mul(a, b), 1e-12);
+}
+
+TEST(GemmTest, AtBMatchesReference) {
+  Rng rng(2);
+  const Matrix a = random_matrix(6, 4, rng);
+  const Matrix b = random_matrix(6, 3, rng);
+  Matrix out;
+  gemm_at_b(a, b, out);
+  expect_matrix_near(out, naive_mul(a.transposed(), b), 1e-12);
+}
+
+TEST(GemmTest, ABtMatchesReference) {
+  Rng rng(3);
+  const Matrix a = random_matrix(4, 6, rng);
+  const Matrix b = random_matrix(5, 6, rng);
+  Matrix out;
+  gemm_a_bt(a, b, out);
+  expect_matrix_near(out, naive_mul(a, b.transposed()), 1e-12);
+}
+
+TEST(GemmTest, IdentityIsNeutral) {
+  Rng rng(4);
+  const Matrix a = random_matrix(3, 3, rng);
+  Matrix out;
+  gemm(a, Matrix::identity(3), out);
+  expect_matrix_near(out, a, 1e-12);
+}
+
+TEST(GemmTest, Matvec) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  const std::vector<double> x{1.0, 1.0};
+  const std::vector<double> y = matvec(a, x);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(GemmTest, Dot) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+}
+
+TEST(CholeskyTest, FactorsSpdMatrix) {
+  // A = L0 * L0^T with a known L0.
+  const Matrix l0 = Matrix::from_rows(
+      {{2.0, 0.0, 0.0}, {1.0, 3.0, 0.0}, {0.5, -1.0, 1.5}});
+  Matrix a;
+  gemm_a_bt(l0, l0, a);
+  auto factor = cholesky(a);
+  ASSERT_TRUE(factor.has_value());
+  expect_matrix_near(*factor, l0, 1e-10);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {2.0, 1.0}});  // eig -1, 3
+  EXPECT_FALSE(cholesky(a).has_value());
+}
+
+TEST(CholeskyTest, SolveRecoversSolution) {
+  Rng rng(5);
+  const Matrix l0 = Matrix::from_rows(
+      {{3.0, 0.0, 0.0}, {0.5, 2.0, 0.0}, {1.0, 1.0, 4.0}});
+  Matrix a;
+  gemm_a_bt(l0, l0, a);
+  const std::vector<double> x_true{1.0, -2.0, 0.5};
+  const std::vector<double> b = matvec(a, x_true);
+  auto factor = cholesky(a);
+  ASSERT_TRUE(factor.has_value());
+  const std::vector<double> x = cholesky_solve(*factor, b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+TEST(RidgeTest, RecoversExactLinearModel) {
+  Rng rng(6);
+  const std::size_t n = 200, d = 4;
+  const Matrix x = random_matrix(n, d, rng);
+  const std::vector<double> w_true{1.5, -2.0, 0.0, 3.0};
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = dot(x.row(i), w_true);
+  const std::vector<double> w = ridge_least_squares(x, y, 0.0);
+  for (std::size_t j = 0; j < d; ++j) EXPECT_NEAR(w[j], w_true[j], 1e-8);
+}
+
+TEST(RidgeTest, RegularizationShrinks) {
+  Rng rng(7);
+  const Matrix x = random_matrix(100, 3, rng);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < 100; ++i) y[i] = 2.0 * x(i, 0);
+  const std::vector<double> w0 = ridge_least_squares(x, y, 0.0);
+  const std::vector<double> w_big = ridge_least_squares(x, y, 1e4);
+  EXPECT_GT(std::abs(w0[0]), std::abs(w_big[0]));
+}
+
+TEST(RidgeTest, HandlesCollinearColumns) {
+  // Second column is a copy of the first — singular normal equations.
+  Rng rng(8);
+  Matrix x(50, 2);
+  std::vector<double> y(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    x(i, 0) = rng.normal();
+    x(i, 1) = x(i, 0);
+    y[i] = 3.0 * x(i, 0);
+  }
+  const std::vector<double> w = ridge_least_squares(x, y, 0.0);
+  // Any split across the two columns is valid; their sum must be ~3.
+  EXPECT_NEAR(w[0] + w[1], 3.0, 1e-3);
+}
+
+TEST(RidgeTest, RejectsMismatchedSizes) {
+  const Matrix x(3, 2);
+  const std::vector<double> y(4, 0.0);
+  EXPECT_THROW(ridge_least_squares(x, y, 0.0), ConfigError);
+}
+
+TEST(StandardizerTest, TransformsToZeroMeanUnitVariance) {
+  Rng rng(9);
+  Matrix x(500, 3);
+  for (std::size_t i = 0; i < 500; ++i) {
+    x(i, 0) = rng.normal(10.0, 2.0);
+    x(i, 1) = rng.normal(-5.0, 0.1);
+    x(i, 2) = rng.normal(0.0, 30.0);
+  }
+  Standardizer st;
+  st.fit(x);
+  const Matrix z = st.transform(x);
+  for (std::size_t c = 0; c < 3; ++c) {
+    RunningStats s;
+    for (std::size_t r = 0; r < z.rows(); ++r) s.add(z(r, c));
+    EXPECT_NEAR(s.mean(), 0.0, 1e-9);
+    EXPECT_NEAR(s.stddev(), 1.0, 0.01);
+  }
+}
+
+TEST(StandardizerTest, ConstantColumnIsShiftOnly) {
+  Matrix x = Matrix::from_rows({{5.0}, {5.0}, {5.0}});
+  Standardizer st;
+  st.fit(x);
+  const Matrix z = st.transform(x);
+  for (std::size_t r = 0; r < 3; ++r) EXPECT_DOUBLE_EQ(z(r, 0), 0.0);
+}
+
+TEST(StandardizerTest, TransformRowMatchesMatrix) {
+  Matrix x = Matrix::from_rows({{1.0, 10.0}, {3.0, 30.0}});
+  Standardizer st;
+  st.fit(x);
+  std::vector<double> row{2.0, 20.0};
+  st.transform_row(row);
+  EXPECT_NEAR(row[0], 0.0, 1e-12);
+  EXPECT_NEAR(row[1], 0.0, 1e-12);
+}
+
+TEST(StandardizerTest, UseBeforeFitThrows) {
+  Standardizer st;
+  std::vector<double> row{1.0};
+  EXPECT_THROW(st.transform_row(row), ConfigError);
+}
+
+TEST(StandardizerTest, DimensionMismatchThrows) {
+  Standardizer st;
+  st.fit(Matrix::from_rows({{1.0, 2.0}}));
+  EXPECT_THROW(st.transform(Matrix(1, 3)), ConfigError);
+}
+
+TEST(TargetScalerTest, RoundTrips) {
+  TargetScaler sc;
+  const std::vector<double> y{1.0, 2.0, 3.0, 4.0};
+  sc.fit(y);
+  for (double v : y) {
+    EXPECT_NEAR(sc.inverse(sc.transform(v)), v, 1e-12);
+  }
+  EXPECT_NEAR(sc.transform(sc.mean()), 0.0, 1e-12);
+}
+
+TEST(TargetScalerTest, ConstantTargetsScaleOne) {
+  TargetScaler sc;
+  sc.fit(std::vector<double>{7.0, 7.0});
+  EXPECT_DOUBLE_EQ(sc.scale(), 1.0);
+  EXPECT_DOUBLE_EQ(sc.transform(8.0), 1.0);
+}
+
+}  // namespace
+}  // namespace esm

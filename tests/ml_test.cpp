@@ -1,0 +1,492 @@
+// Unit tests for src/ml: datasets, metrics, the MLP + Adam trainer, linear
+// regression, decision trees, and gradient boosting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/dataset.hpp"
+#include "ml/gbdt.hpp"
+#include "ml/gcn.hpp"
+#include "ml/linreg.hpp"
+#include "ml/metrics.hpp"
+#include "ml/mlp.hpp"
+#include "ml/trainer.hpp"
+#include "ml/tree.hpp"
+
+namespace esm {
+namespace {
+
+/// Builds a dataset y = f(x) over uniformly sampled inputs.
+template <typename F>
+void make_data(F f, std::size_t n, std::size_t d, Rng& rng, Matrix& x,
+               std::vector<double>& y) {
+  x = Matrix(n, d);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) x(i, j) = rng.uniform(-1.0, 1.0);
+    y[i] = f(x.row(i));
+  }
+}
+
+// -------------------------------------------------------------- dataset
+
+TEST(DatasetTest, AddAndAccess) {
+  RegressionDataset ds;
+  ds.add(std::vector<double>{1.0, 2.0}, 10.0);
+  ds.add(std::vector<double>{3.0, 4.0}, 20.0);
+  EXPECT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds.dimension(), 2u);
+  EXPECT_DOUBLE_EQ(ds.row(1)[0], 3.0);
+  EXPECT_DOUBLE_EQ(ds.target(1), 20.0);
+  EXPECT_DOUBLE_EQ(ds.features()(0, 1), 2.0);
+}
+
+TEST(DatasetTest, RejectsDimensionMismatch) {
+  RegressionDataset ds;
+  ds.add(std::vector<double>{1.0, 2.0}, 1.0);
+  EXPECT_THROW(ds.add(std::vector<double>{1.0}, 2.0), ConfigError);
+}
+
+TEST(DatasetTest, AppendMergesRows) {
+  RegressionDataset a, b;
+  a.add(std::vector<double>{1.0}, 1.0);
+  b.add(std::vector<double>{2.0}, 2.0);
+  b.add(std::vector<double>{3.0}, 3.0);
+  a.append(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a.target(2), 3.0);
+  EXPECT_DOUBLE_EQ(a.features()(1, 0), 2.0);
+}
+
+TEST(DatasetTest, AppendRejectsMismatch) {
+  RegressionDataset a, b;
+  a.add(std::vector<double>{1.0}, 1.0);
+  b.add(std::vector<double>{1.0, 2.0}, 1.0);
+  EXPECT_THROW(a.append(b), ConfigError);
+}
+
+TEST(DatasetTest, SplitPartitions) {
+  RegressionDataset ds;
+  for (int i = 0; i < 10; ++i) {
+    ds.add(std::vector<double>{static_cast<double>(i)}, i);
+  }
+  const auto [head, tail] = ds.split(3);
+  EXPECT_EQ(head.size(), 3u);
+  EXPECT_EQ(tail.size(), 7u);
+  EXPECT_DOUBLE_EQ(head.target(2), 2.0);
+  EXPECT_DOUBLE_EQ(tail.target(0), 3.0);
+  EXPECT_THROW(ds.split(11), ConfigError);
+}
+
+TEST(DatasetTest, ShuffleKeepsPairsAligned) {
+  RegressionDataset ds;
+  for (int i = 0; i < 50; ++i) {
+    ds.add(std::vector<double>{static_cast<double>(i)}, i * 2.0);
+  }
+  Rng rng(1);
+  ds.shuffle(rng);
+  EXPECT_EQ(ds.size(), 50u);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ds.target(i), ds.row(i)[0] * 2.0);
+  }
+}
+
+TEST(DatasetTest, SubsetSelectsByIndex) {
+  RegressionDataset ds;
+  for (int i = 0; i < 5; ++i) {
+    ds.add(std::vector<double>{static_cast<double>(i)}, i);
+  }
+  const RegressionDataset sub = ds.subset({4, 0});
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_DOUBLE_EQ(sub.target(0), 4.0);
+  EXPECT_DOUBLE_EQ(sub.target(1), 0.0);
+  EXPECT_THROW(ds.subset({7}), ConfigError);
+}
+
+// -------------------------------------------------------------- metrics
+
+TEST(MetricsTest, SampleAccuracyClampsAtZero) {
+  EXPECT_DOUBLE_EQ(sample_accuracy(10.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(sample_accuracy(9.0, 10.0), 0.9);
+  EXPECT_DOUBLE_EQ(sample_accuracy(25.0, 10.0), 0.0);  // 150% error clamps
+  EXPECT_THROW(sample_accuracy(1.0, 0.0), ConfigError);
+}
+
+TEST(MetricsTest, MeanAccuracyAveragesSamples) {
+  const std::vector<double> pred{9.0, 11.0};
+  const std::vector<double> actual{10.0, 10.0};
+  EXPECT_DOUBLE_EQ(mean_accuracy(pred, actual), 0.9);
+}
+
+TEST(MetricsTest, MapeAndAccuracyAreComplementsWithoutClamp) {
+  const std::vector<double> pred{9.0, 10.5};
+  const std::vector<double> actual{10.0, 10.0};
+  EXPECT_NEAR(mean_accuracy(pred, actual), 1.0 - mape(pred, actual), 1e-12);
+}
+
+TEST(MetricsTest, Rmse) {
+  const std::vector<double> pred{1.0, 2.0};
+  const std::vector<double> actual{2.0, 4.0};
+  EXPECT_NEAR(rmse(pred, actual), std::sqrt((1.0 + 4.0) / 2.0), 1e-12);
+}
+
+TEST(MetricsTest, RSquared) {
+  const std::vector<double> actual{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r_squared(actual, actual), 1.0);
+  const std::vector<double> constant{2.0, 2.0, 2.0};
+  EXPECT_LT(r_squared(constant, actual), 1.0);
+}
+
+// ------------------------------------------------------------------ MLP
+
+TEST(MlpTest, ForwardShapeAndDeterminism) {
+  Rng rng(1);
+  Mlp mlp({3, 8, 1}, rng);
+  Matrix x(5, 3, 0.5);
+  const Matrix out1 = mlp.forward(x);
+  const Matrix out2 = mlp.forward(x);
+  ASSERT_EQ(out1.rows(), 5u);
+  ASSERT_EQ(out1.cols(), 1u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(out1(i, 0), out2(i, 0));
+  }
+}
+
+TEST(MlpTest, PaperPredictorShape) {
+  Rng rng(2);
+  Mlp mlp = Mlp::paper_predictor(36, rng);
+  EXPECT_EQ(mlp.input_dim(), 36u);
+  EXPECT_EQ(mlp.output_dim(), 1u);
+  // 36*64+64 + 64*64+64 + 64*1+1 parameters.
+  EXPECT_EQ(mlp.parameter_count(), 36u * 64 + 64 + 64 * 64 + 64 + 64 + 1);
+}
+
+TEST(MlpTest, RejectsBadDims) {
+  Rng rng(3);
+  EXPECT_THROW(Mlp({5}, rng), ConfigError);
+  EXPECT_THROW(Mlp({5, 0, 1}, rng), ConfigError);
+}
+
+TEST(MlpTest, PredictOneMatchesBatch) {
+  Rng rng(4);
+  Mlp mlp({2, 4, 1}, rng);
+  Matrix x = Matrix::from_rows({{0.3, -0.7}});
+  EXPECT_DOUBLE_EQ(mlp.predict(x)[0], mlp.predict_one(x.row(0)));
+}
+
+TEST(MlpTest, LearnsLinearFunction) {
+  Rng rng(5);
+  Matrix x;
+  std::vector<double> y;
+  make_data([](std::span<const double> r) { return 2.0 * r[0] - r[1]; }, 512,
+            2, rng, x, y);
+  Mlp mlp({2, 16, 1}, rng);
+  MlpTrainer trainer({.epochs = 150, .batch_size = 64});
+  trainer.fit(mlp, x, y);
+  const std::vector<double> pred = mlp.predict(x);
+  EXPECT_LT(rmse(pred, y), 0.05);
+}
+
+TEST(MlpTest, LearnsNonlinearInteraction) {
+  // The product x0*x1 is exactly the kind of joint interaction the FCC
+  // encoding exposes; the MLP must be able to fit it.
+  Rng rng(6);
+  Matrix x;
+  std::vector<double> y;
+  make_data([](std::span<const double> r) { return r[0] * r[1]; }, 1024, 2,
+            rng, x, y);
+  Mlp mlp({2, 32, 32, 1}, rng);
+  MlpTrainer trainer({.epochs = 300, .batch_size = 64});
+  trainer.fit(mlp, x, y);
+  EXPECT_LT(rmse(mlp.predict(x), y), 0.08);
+}
+
+TEST(MlpTest, TrainBatchReturnsDecreasingLoss) {
+  Rng rng(7);
+  Matrix x;
+  std::vector<double> y;
+  make_data([](std::span<const double> r) { return r[0]; }, 128, 1, rng, x, y);
+  Mlp mlp({1, 8, 1}, rng);
+  const AdamConfig adam;
+  const double first = mlp.train_batch(x, y, adam, 0.0);
+  double last = first;
+  for (int i = 0; i < 200; ++i) last = mlp.train_batch(x, y, adam, 0.0);
+  EXPECT_LT(last, first * 0.1);
+}
+
+TEST(MlpTest, WeightDecayShrinksWeights) {
+  // With pure-noise targets and strong decay, weights shrink toward zero.
+  Rng rng(8);
+  Matrix x(64, 2);
+  std::vector<double> y(64, 0.0);
+  for (std::size_t i = 0; i < 64; ++i) {
+    x(i, 0) = rng.normal();
+    x(i, 1) = rng.normal();
+  }
+  Mlp strong({2, 4, 1}, rng);
+  AdamConfig decay;
+  decay.weight_decay = 1.0;
+  for (int i = 0; i < 500; ++i) strong.train_batch(x, y, decay, 0.0);
+  Matrix probe = Matrix::from_rows({{1.0, 1.0}});
+  EXPECT_NEAR(strong.predict(probe)[0], 0.0, 0.05);
+}
+
+// -------------------------------------------------------------- trainer
+
+TEST(TrainerTest, ReportsEpochsAndTime) {
+  Rng rng(9);
+  Matrix x;
+  std::vector<double> y;
+  make_data([](std::span<const double> r) { return r[0]; }, 64, 1, rng, x, y);
+  Mlp mlp({1, 4, 1}, rng);
+  MlpTrainer trainer({.epochs = 10, .batch_size = 16});
+  const TrainResult result = trainer.fit(mlp, x, y);
+  EXPECT_EQ(result.epochs_run, 10);
+  EXPECT_GE(result.train_seconds, 0.0);
+  EXPECT_GT(result.final_train_mse, 0.0);
+}
+
+TEST(TrainerTest, BatchLargerThanDataIsClamped) {
+  Rng rng(10);
+  Matrix x;
+  std::vector<double> y;
+  make_data([](std::span<const double> r) { return r[0]; }, 10, 1, rng, x, y);
+  Mlp mlp({1, 4, 1}, rng);
+  MlpTrainer trainer({.epochs = 5, .batch_size = 256});
+  EXPECT_NO_THROW(trainer.fit(mlp, x, y));
+}
+
+TEST(TrainerTest, ValidatesConfig) {
+  EXPECT_THROW(MlpTrainer({.epochs = 0}), ConfigError);
+  EXPECT_THROW(MlpTrainer({.epochs = 1, .batch_size = 0}), ConfigError);
+}
+
+TEST(TrainerTest, CosineScheduleConvergesLikeConstant) {
+  Rng rng(11);
+  Matrix x;
+  std::vector<double> y;
+  make_data([](std::span<const double> r) { return 3.0 * r[0] + 1.0; }, 256,
+            1, rng, x, y);
+  for (LrSchedule sched : {LrSchedule::kConstant, LrSchedule::kCosine}) {
+    Rng init(12);
+    Mlp mlp({1, 8, 1}, init);
+    TrainConfig cfg{.epochs = 100, .batch_size = 32};
+    cfg.schedule = sched;
+    MlpTrainer trainer(cfg);
+    trainer.fit(mlp, x, y);
+    EXPECT_LT(rmse(mlp.predict(x), y), 0.1);
+  }
+}
+
+// ------------------------------------------------------- linear regression
+
+TEST(LinRegTest, RecoversAffineModel) {
+  Rng rng(13);
+  Matrix x;
+  std::vector<double> y;
+  make_data([](std::span<const double> r) { return 4.0 * r[0] - 2.0 * r[1] + 7.0; },
+            200, 2, rng, x, y);
+  LinearRegression reg;
+  reg.fit(x, y);
+  EXPECT_NEAR(reg.weights()[0], 4.0, 1e-6);
+  EXPECT_NEAR(reg.weights()[1], -2.0, 1e-6);
+  EXPECT_NEAR(reg.intercept(), 7.0, 1e-6);
+  EXPECT_NEAR(reg.predict_one(std::vector<double>{1.0, 1.0}), 9.0, 1e-6);
+}
+
+TEST(LinRegTest, PredictBeforeFitThrows) {
+  LinearRegression reg;
+  EXPECT_THROW(reg.predict_one(std::vector<double>{1.0}), ConfigError);
+}
+
+TEST(LinRegTest, BatchPredictMatchesSingle) {
+  Rng rng(14);
+  Matrix x;
+  std::vector<double> y;
+  make_data([](std::span<const double> r) { return r[0]; }, 50, 1, rng, x, y);
+  LinearRegression reg;
+  reg.fit(x, y);
+  const std::vector<double> batch = reg.predict(x);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], reg.predict_one(x.row(i)));
+  }
+}
+
+// ----------------------------------------------------------------- tree
+
+TEST(TreeTest, FitsPiecewiseConstantExactly) {
+  Matrix x = Matrix::from_rows({{0.0}, {1.0}, {2.0}, {3.0}, {10.0},
+                                {11.0}, {12.0}, {13.0}});
+  std::vector<double> y{1, 1, 1, 1, 5, 5, 5, 5};
+  DecisionTreeRegressor tree({.max_depth = 3, .min_samples_leaf = 1,
+                              .min_samples_split = 2});
+  tree.fit(x, y);
+  EXPECT_DOUBLE_EQ(tree.predict_one(std::vector<double>{1.5}), 1.0);
+  EXPECT_DOUBLE_EQ(tree.predict_one(std::vector<double>{11.5}), 5.0);
+}
+
+TEST(TreeTest, RespectsMaxDepth) {
+  Rng rng(15);
+  Matrix x;
+  std::vector<double> y;
+  make_data([](std::span<const double> r) { return std::sin(5.0 * r[0]); },
+            500, 1, rng, x, y);
+  DecisionTreeRegressor tree({.max_depth = 3, .min_samples_leaf = 1,
+                              .min_samples_split = 2});
+  tree.fit(x, y);
+  EXPECT_LE(tree.depth(), 4);  // root at depth 1
+}
+
+TEST(TreeTest, RespectsMinSamplesLeaf) {
+  Matrix x = Matrix::from_rows({{0.0}, {1.0}, {2.0}, {3.0}});
+  std::vector<double> y{0, 1, 2, 3};
+  DecisionTreeRegressor tree({.max_depth = 10, .min_samples_leaf = 2,
+                              .min_samples_split = 2});
+  tree.fit(x, y);
+  // With min leaf 2 on 4 points the tree can split at most once.
+  EXPECT_LE(tree.node_count(), 3u);
+}
+
+TEST(TreeTest, ConstantTargetYieldsSingleLeaf) {
+  Matrix x = Matrix::from_rows({{0.0}, {1.0}, {2.0}});
+  std::vector<double> y{4.0, 4.0, 4.0};
+  DecisionTreeRegressor tree;
+  tree.fit(x, y);
+  EXPECT_DOUBLE_EQ(tree.predict_one(std::vector<double>{9.9}), 4.0);
+}
+
+TEST(TreeTest, PredictBeforeFitThrows) {
+  DecisionTreeRegressor tree;
+  EXPECT_THROW(tree.predict_one(std::vector<double>{0.0}), ConfigError);
+}
+
+TEST(TreeTest, ReducesErrorOnSmoothFunction) {
+  Rng rng(16);
+  Matrix x;
+  std::vector<double> y;
+  make_data([](std::span<const double> r) { return r[0] * r[0]; }, 1000, 1,
+            rng, x, y);
+  DecisionTreeRegressor tree({.max_depth = 8, .min_samples_leaf = 4,
+                              .min_samples_split = 8});
+  tree.fit(x, y);
+  EXPECT_LT(rmse(tree.predict(x), y), 0.05);
+}
+
+// ----------------------------------------------------------------- GBDT
+
+TEST(GbdtTest, BeatsSingleShallowTree) {
+  Rng rng(17);
+  Matrix x;
+  std::vector<double> y;
+  make_data(
+      [](std::span<const double> r) {
+        return std::sin(3.0 * r[0]) + 0.5 * r[1];
+      },
+      1000, 2, rng, x, y);
+  DecisionTreeRegressor shallow({.max_depth = 3, .min_samples_leaf = 4,
+                                 .min_samples_split = 8});
+  shallow.fit(x, y);
+  GradientBoostingRegressor gbdt(
+      {.n_estimators = 80,
+       .learning_rate = 0.2,
+       .tree = {.max_depth = 3, .min_samples_leaf = 4, .min_samples_split = 8}});
+  gbdt.fit(x, y);
+  EXPECT_LT(rmse(gbdt.predict(x), y), rmse(shallow.predict(x), y) * 0.7);
+}
+
+TEST(GbdtTest, StageCountMatchesConfig) {
+  Rng rng(18);
+  Matrix x;
+  std::vector<double> y;
+  make_data([](std::span<const double> r) { return r[0]; }, 100, 1, rng, x, y);
+  GradientBoostingRegressor gbdt({.n_estimators = 25, .learning_rate = 0.1});
+  gbdt.fit(x, y);
+  EXPECT_EQ(gbdt.stage_count(), 25u);
+}
+
+TEST(GbdtTest, ValidatesConfig) {
+  EXPECT_THROW(GradientBoostingRegressor({.n_estimators = 0}), ConfigError);
+  EXPECT_THROW(
+      GradientBoostingRegressor({.n_estimators = 1, .learning_rate = 0.0}),
+      ConfigError);
+}
+
+TEST(GbdtTest, PredictBeforeFitThrows) {
+  GradientBoostingRegressor gbdt;
+  EXPECT_THROW(gbdt.predict_one(std::vector<double>{0.0}), ConfigError);
+}
+
+// ------------------------------------------------------------------ GCN
+
+TEST(GcnTest, PropagateChainAveragesNeighbors) {
+  // Chain of 3 nodes, 1 feature: [0, 3, 6].
+  Matrix h = Matrix::from_rows({{0.0}, {3.0}, {6.0}});
+  const Matrix p = GcnRegressor::propagate_chain(h);
+  EXPECT_DOUBLE_EQ(p(0, 0), 1.5);  // (0 + 3) / 2
+  EXPECT_DOUBLE_EQ(p(1, 0), 3.0);  // (0 + 3 + 6) / 3
+  EXPECT_DOUBLE_EQ(p(2, 0), 4.5);  // (3 + 6) / 2
+}
+
+TEST(GcnTest, PropagateSingleNodeIsIdentity) {
+  Matrix h = Matrix::from_rows({{5.0, -1.0}});
+  const Matrix p = GcnRegressor::propagate_chain(h);
+  EXPECT_DOUBLE_EQ(p(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(p(0, 1), -1.0);
+}
+
+TEST(GcnTest, LearnsChainLengthFunction) {
+  // Target = number of nodes: trivially learnable from mean-pooled
+  // features if the GCN trains at all.
+  Rng rng(19);
+  std::vector<Matrix> graphs;
+  std::vector<double> targets;
+  for (int i = 0; i < 400; ++i) {
+    const int n = rng.uniform_int(2, 12);
+    Matrix g(static_cast<std::size_t>(n), 3);
+    for (std::size_t r = 0; r < g.rows(); ++r) {
+      g(r, 0) = 1.0;
+      g(r, 1) = rng.uniform();
+      g(r, 2) = 1.0 / static_cast<double>(n);
+    }
+    graphs.push_back(std::move(g));
+    targets.push_back(static_cast<double>(n) / 12.0);
+  }
+  GcnRegressor gcn(3, {.hidden = 16, .epochs = 60, .seed = 3});
+  gcn.fit(graphs, targets);
+  double err = 0.0;
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    err += std::abs(gcn.predict(graphs[i]) - targets[i]);
+  }
+  EXPECT_LT(err / static_cast<double>(graphs.size()), 0.08);
+}
+
+TEST(GcnTest, ValidatesInput) {
+  EXPECT_THROW(GcnRegressor(0, {}), ConfigError);
+  GcnRegressor gcn(2, {.hidden = 4, .epochs = 2});
+  EXPECT_THROW(gcn.predict(Matrix(1, 2)), ConfigError);  // before fit
+  std::vector<Matrix> graphs{Matrix(2, 3)};               // wrong width
+  std::vector<double> targets{1.0};
+  EXPECT_THROW(gcn.fit(graphs, targets), ConfigError);
+}
+
+TEST(GcnTest, DeterministicUnderSeed) {
+  Rng rng(23);
+  std::vector<Matrix> graphs;
+  std::vector<double> targets;
+  for (int i = 0; i < 50; ++i) {
+    Matrix g(3, 2);
+    g.fill(rng.uniform());
+    graphs.push_back(std::move(g));
+    targets.push_back(rng.uniform());
+  }
+  GcnRegressor a(2, {.hidden = 8, .epochs = 10, .seed = 5});
+  GcnRegressor b(2, {.hidden = 8, .epochs = 10, .seed = 5});
+  a.fit(graphs, targets);
+  b.fit(graphs, targets);
+  EXPECT_DOUBLE_EQ(a.predict(graphs[0]), b.predict(graphs[0]));
+}
+
+}  // namespace
+}  // namespace esm

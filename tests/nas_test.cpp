@@ -1,0 +1,278 @@
+// Unit tests for src/nas: the synthetic accuracy proxy, Pareto utilities,
+// and the latency-constrained evolutionary search.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "hwsim/measurement.hpp"
+#include "nas/accuracy_proxy.hpp"
+#include "nas/pareto.hpp"
+#include "nas/search.hpp"
+#include "nets/builder.hpp"
+#include "nets/sampler.hpp"
+#include "surrogate/flops_proxy.hpp"
+
+namespace esm {
+namespace {
+
+ArchConfig uniform_arch(const SupernetSpec& spec, int depth, int kernel,
+                        double expansion = 1.0) {
+  ArchConfig arch;
+  arch.kind = spec.kind;
+  for (int u = 0; u < spec.num_units; ++u) {
+    UnitConfig unit;
+    for (int b = 0; b < depth; ++b) unit.blocks.push_back({kernel, expansion});
+    arch.units.push_back(unit);
+  }
+  return arch;
+}
+
+/// Oracle predictor backed by the deterministic latency model.
+class OraclePredictor final : public LatencyPredictor {
+ public:
+  OraclePredictor(SupernetSpec spec, DeviceSpec device)
+      : spec_(std::move(spec)), model_(std::move(device)) {}
+  double predict_ms(const ArchConfig& arch) const override {
+    return model_.true_latency_ms(build_graph(spec_, arch));
+  }
+  std::string name() const override { return "oracle"; }
+
+ private:
+  SupernetSpec spec_;
+  LatencyModel model_;
+};
+
+// -------------------------------------------------------- accuracy proxy
+
+TEST(AccuracyProxyTest, DeterministicPerArchitecture) {
+  const SupernetSpec spec = resnet_spec();
+  const AccuracyProxy proxy(spec);
+  const ArchConfig arch = uniform_arch(spec, 3, 5);
+  EXPECT_DOUBLE_EQ(proxy.top5_accuracy(arch), proxy.top5_accuracy(arch));
+}
+
+TEST(AccuracyProxyTest, InPlausibleRange) {
+  const SupernetSpec spec = resnet_spec();
+  const AccuracyProxy proxy(spec);
+  Rng rng(1);
+  RandomSampler sampler(spec);
+  for (int i = 0; i < 100; ++i) {
+    const double acc = proxy.top5_accuracy(sampler.sample(rng));
+    EXPECT_GT(acc, 0.85);
+    EXPECT_LT(acc, 0.97);
+  }
+}
+
+TEST(AccuracyProxyTest, BiggerModelsAreMoreAccurateOnAverage) {
+  const SupernetSpec spec = resnet_spec();
+  const AccuracyProxy proxy(spec);
+  const double small = proxy.top5_accuracy(uniform_arch(spec, 1, 3, 0.5));
+  const double large = proxy.top5_accuracy(uniform_arch(spec, 7, 7, 1.0));
+  EXPECT_GT(large, small);
+}
+
+TEST(AccuracyProxyTest, ResidualVariesBetweenArchitectures) {
+  // Two architectures with identical FLOPs (permuted units) still differ.
+  const SupernetSpec spec = resnet_spec();
+  const AccuracyProxy proxy(spec);
+  ArchConfig a = uniform_arch(spec, 3, 5);
+  ArchConfig b = a;
+  b.units[0].blocks[0].kernel = 3;
+  b.units[0].blocks[1].kernel = 7;
+  a.units[0].blocks[0].kernel = 7;
+  a.units[0].blocks[1].kernel = 3;
+  EXPECT_NE(proxy.top5_accuracy(a), proxy.top5_accuracy(b));
+}
+
+TEST(AccuracyProxyTest, SeedChangesResidualField) {
+  const SupernetSpec spec = resnet_spec();
+  const AccuracyProxy p1(spec, 1), p2(spec, 2);
+  const ArchConfig arch = uniform_arch(spec, 3, 5);
+  EXPECT_NE(p1.top5_accuracy(arch), p2.top5_accuracy(arch));
+}
+
+// ---------------------------------------------------------------- pareto
+
+TEST(ParetoTest, FrontOnHandcraftedPoints) {
+  //   cost:  1    2    3    4
+  //   value: 5    4    6    6
+  // Front: index 0 (1,5) and index 2 (3,6). (2,4) dominated by (1,5);
+  // (4,6) dominated by (3,6).
+  const std::vector<double> cost{1, 2, 3, 4};
+  const std::vector<double> value{5, 4, 6, 6};
+  const auto front = pareto_front(cost, value);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(ParetoTest, SinglePointIsItsOwnFront) {
+  const std::vector<double> cost{1.0};
+  const std::vector<double> value{1.0};
+  EXPECT_EQ(pareto_front(cost, value).size(), 1u);
+}
+
+TEST(ParetoTest, MonotoneChainAllOnFront) {
+  const std::vector<double> cost{1, 2, 3};
+  const std::vector<double> value{1, 2, 3};
+  EXPECT_EQ(pareto_front(cost, value).size(), 3u);
+}
+
+TEST(ParetoTest, FrontPointsAreMutuallyNonDominated) {
+  Rng rng(2);
+  std::vector<double> cost(200), value(200);
+  for (int i = 0; i < 200; ++i) {
+    cost[static_cast<std::size_t>(i)] = rng.uniform();
+    value[static_cast<std::size_t>(i)] = rng.uniform();
+  }
+  const auto front = pareto_front(cost, value);
+  for (std::size_t a : front) {
+    for (std::size_t b : front) {
+      if (a == b) continue;
+      const bool dominates = cost[b] <= cost[a] && value[b] >= value[a] &&
+                             (cost[b] < cost[a] || value[b] > value[a]);
+      EXPECT_FALSE(dominates);
+    }
+  }
+}
+
+TEST(ParetoTest, JaccardBasics) {
+  EXPECT_DOUBLE_EQ(index_jaccard({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(index_jaccard({1, 2}, {1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(index_jaccard({1, 2}, {3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(index_jaccard({1, 2, 3}, {2, 3, 4}), 0.5);
+}
+
+TEST(ParetoTest, RegretZeroWhenFrontsMatch) {
+  const std::vector<double> cost{1, 2, 3};
+  const std::vector<double> value{1, 2, 3};
+  const auto front = pareto_front(cost, value);
+  EXPECT_DOUBLE_EQ(pareto_regret(cost, value, front, front), 0.0);
+}
+
+TEST(ParetoTest, RegretPositiveWhenSelectionMissesBest) {
+  const std::vector<double> cost{1, 1, 2};
+  const std::vector<double> value{5, 3, 6};
+  const std::vector<std::size_t> truth{0, 2};
+  const std::vector<std::size_t> selected{1};  // picked the weak point
+  EXPECT_GT(pareto_regret(cost, value, truth, selected), 0.0);
+}
+
+// ---------------------------------------------------------------- search
+
+TEST(SearchTest, ValidatesConfig) {
+  SearchConfig cfg;
+  cfg.latency_limit_ms = 0.0;
+  EXPECT_THROW(EvolutionarySearch(resnet_spec(), cfg), ConfigError);
+  cfg.latency_limit_ms = 1.0;
+  cfg.parents = 100;
+  cfg.population = 10;
+  EXPECT_THROW(EvolutionarySearch(resnet_spec(), cfg), ConfigError);
+}
+
+TEST(SearchTest, MutationStaysInSpace) {
+  const SupernetSpec spec = resnet_spec();
+  SearchConfig cfg;
+  cfg.latency_limit_ms = 5.0;
+  EvolutionarySearch search(spec, cfg);
+  Rng rng(3);
+  RandomSampler sampler(spec);
+  for (int i = 0; i < 100; ++i) {
+    ArchConfig arch = sampler.sample(rng);
+    search.mutate(arch, rng);
+    EXPECT_TRUE(spec.contains(arch));
+  }
+}
+
+TEST(SearchTest, MutationStaysInDenseNetSpace) {
+  const SupernetSpec spec = densenet_spec();
+  SearchConfig cfg;
+  cfg.latency_limit_ms = 5.0;
+  EvolutionarySearch search(spec, cfg);
+  Rng rng(4);
+  RandomSampler sampler(spec);
+  for (int i = 0; i < 100; ++i) {
+    ArchConfig arch = sampler.sample(rng);
+    search.mutate(arch, rng);
+    EXPECT_TRUE(spec.contains(arch)) << arch.to_string();
+  }
+}
+
+TEST(SearchTest, CrossoverMixesParents) {
+  const SupernetSpec spec = resnet_spec();
+  SearchConfig cfg;
+  cfg.latency_limit_ms = 5.0;
+  EvolutionarySearch search(spec, cfg);
+  Rng rng(5);
+  const ArchConfig a = uniform_arch(spec, 1, 3, 0.5);
+  const ArchConfig b = uniform_arch(spec, 7, 7, 1.0);
+  const ArchConfig child = search.crossover(a, b, rng);
+  EXPECT_TRUE(spec.contains(child));
+  for (const UnitConfig& u : child.units) {
+    EXPECT_TRUE(u == a.units[0] || u == b.units[0]);
+  }
+}
+
+TEST(SearchTest, FindsFeasibleSolutionUnderLooseLimit) {
+  const SupernetSpec spec = resnet_spec();
+  const OraclePredictor oracle(spec, rtx4090_spec());
+  const AccuracyProxy proxy(spec);
+  // A loose limit: the median random model qualifies.
+  SearchConfig cfg;
+  cfg.population = 24;
+  cfg.generations = 8;
+  cfg.parents = 8;
+  cfg.latency_limit_ms =
+      oracle.predict_ms(uniform_arch(spec, 4, 5, 2.0 / 3.0));
+  cfg.seed = 6;
+  EvolutionarySearch search(spec, cfg);
+  const SearchResult result = search.run(oracle, proxy);
+  EXPECT_TRUE(result.found_feasible);
+  EXPECT_LE(result.best.predicted_latency_ms, cfg.latency_limit_ms);
+  EXPECT_GT(result.evaluations, cfg.population);
+}
+
+TEST(SearchTest, BeatsRandomSamplingUnderConstraint) {
+  const SupernetSpec spec = resnet_spec();
+  const OraclePredictor oracle(spec, rtx4090_spec());
+  const AccuracyProxy proxy(spec);
+  SearchConfig cfg;
+  cfg.population = 32;
+  cfg.generations = 12;
+  cfg.parents = 8;
+  cfg.latency_limit_ms = oracle.predict_ms(uniform_arch(spec, 4, 5, 1.0));
+  cfg.seed = 7;
+  EvolutionarySearch search(spec, cfg);
+  const SearchResult result = search.run(oracle, proxy);
+  ASSERT_TRUE(result.found_feasible);
+
+  // Best feasible random sample with the same evaluation budget.
+  Rng rng(8);
+  RandomSampler sampler(spec);
+  double best_random = 0.0;
+  for (std::size_t i = 0; i < result.evaluations; ++i) {
+    const ArchConfig arch = sampler.sample(rng);
+    if (oracle.predict_ms(arch) <= cfg.latency_limit_ms) {
+      best_random = std::max(best_random, proxy.top5_accuracy(arch));
+    }
+  }
+  EXPECT_GE(result.best.proxy_accuracy, best_random - 0.002);
+}
+
+TEST(SearchTest, DeterministicUnderSeed) {
+  const SupernetSpec spec = mobilenet_v3_spec();
+  const OraclePredictor oracle(spec, rtx4090_spec());
+  const AccuracyProxy proxy(spec);
+  SearchConfig cfg;
+  cfg.population = 16;
+  cfg.generations = 4;
+  cfg.parents = 4;
+  cfg.latency_limit_ms = 10.0;
+  cfg.seed = 9;
+  EvolutionarySearch search(spec, cfg);
+  const SearchResult a = search.run(oracle, proxy);
+  const SearchResult b = search.run(oracle, proxy);
+  EXPECT_EQ(a.best.arch, b.best.arch);
+}
+
+}  // namespace
+}  // namespace esm
