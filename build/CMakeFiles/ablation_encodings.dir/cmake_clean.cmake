@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_encodings.dir/bench/ablation_encodings.cpp.o"
+  "CMakeFiles/ablation_encodings.dir/bench/ablation_encodings.cpp.o.d"
+  "bench/ablation_encodings"
+  "bench/ablation_encodings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_encodings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

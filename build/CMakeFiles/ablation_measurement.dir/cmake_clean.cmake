@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_measurement.dir/bench/ablation_measurement.cpp.o"
+  "CMakeFiles/ablation_measurement.dir/bench/ablation_measurement.cpp.o.d"
+  "bench/ablation_measurement"
+  "bench/ablation_measurement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esm_benchutil.dir/bench/bench_util.cpp.o"
+  "CMakeFiles/esm_benchutil.dir/bench/bench_util.cpp.o.d"
+  "libesm_benchutil.a"
+  "libesm_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esm_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_active_sampling.dir/bench/extension_active_sampling.cpp.o"
+  "CMakeFiles/extension_active_sampling.dir/bench/extension_active_sampling.cpp.o.d"
+  "bench/extension_active_sampling"
+  "bench/extension_active_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_active_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_transfer.dir/bench/extension_transfer.cpp.o"
+  "CMakeFiles/extension_transfer.dir/bench/extension_transfer.cpp.o.d"
+  "bench/extension_transfer"
+  "bench/extension_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_device_sweep.dir/bench/fig10_device_sweep.cpp.o"
+  "CMakeFiles/fig10_device_sweep.dir/bench/fig10_device_sweep.cpp.o.d"
+  "bench/fig10_device_sweep"
+  "bench/fig10_device_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_device_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_sampling_convergence.dir/bench/fig11_sampling_convergence.cpp.o"
+  "CMakeFiles/fig11_sampling_convergence.dir/bench/fig11_sampling_convergence.cpp.o.d"
+  "bench/fig11_sampling_convergence"
+  "bench/fig11_sampling_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_sampling_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_pareto_impact.dir/bench/fig2_pareto_impact.cpp.o"
+  "CMakeFiles/fig2_pareto_impact.dir/bench/fig2_pareto_impact.cpp.o.d"
+  "bench/fig2_pareto_impact"
+  "bench/fig2_pareto_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_pareto_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

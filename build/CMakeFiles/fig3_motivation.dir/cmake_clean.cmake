@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_motivation.dir/bench/fig3_motivation.cpp.o"
+  "CMakeFiles/fig3_motivation.dir/bench/fig3_motivation.cpp.o.d"
+  "bench/fig3_motivation"
+  "bench/fig3_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cost_analysis.dir/bench/fig4_cost_analysis.cpp.o"
+  "CMakeFiles/fig4_cost_analysis.dir/bench/fig4_cost_analysis.cpp.o.d"
+  "bench/fig4_cost_analysis"
+  "bench/fig4_cost_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cost_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_reference_qc.dir/bench/fig6_reference_qc.cpp.o"
+  "CMakeFiles/fig6_reference_qc.dir/bench/fig6_reference_qc.cpp.o.d"
+  "bench/fig6_reference_qc"
+  "bench/fig6_reference_qc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_reference_qc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

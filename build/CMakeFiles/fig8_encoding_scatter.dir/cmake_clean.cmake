@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_encoding_scatter.dir/bench/fig8_encoding_scatter.cpp.o"
+  "CMakeFiles/fig8_encoding_scatter.dir/bench/fig8_encoding_scatter.cpp.o.d"
+  "bench/fig8_encoding_scatter"
+  "bench/fig8_encoding_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_encoding_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

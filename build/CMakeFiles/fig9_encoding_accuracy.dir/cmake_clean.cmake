@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_encoding_accuracy.dir/bench/fig9_encoding_accuracy.cpp.o"
+  "CMakeFiles/fig9_encoding_accuracy.dir/bench/fig9_encoding_accuracy.cpp.o.d"
+  "bench/fig9_encoding_accuracy"
+  "bench/fig9_encoding_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_encoding_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

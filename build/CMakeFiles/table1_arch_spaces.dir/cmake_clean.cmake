@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_arch_spaces.dir/bench/table1_arch_spaces.cpp.o"
+  "CMakeFiles/table1_arch_spaces.dir/bench/table1_arch_spaces.cpp.o.d"
+  "bench/table1_arch_spaces"
+  "bench/table1_arch_spaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_arch_spaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

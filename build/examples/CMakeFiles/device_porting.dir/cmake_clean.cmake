@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_porting.dir/device_porting.cpp.o"
+  "CMakeFiles/device_porting.dir/device_porting.cpp.o.d"
+  "device_porting"
+  "device_porting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_porting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

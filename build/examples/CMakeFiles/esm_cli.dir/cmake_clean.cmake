@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esm_cli.dir/esm_cli.cpp.o"
+  "CMakeFiles/esm_cli.dir/esm_cli.cpp.o.d"
+  "esm_cli"
+  "esm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_nas_search.dir/hw_nas_search.cpp.o"
+  "CMakeFiles/hw_nas_search.dir/hw_nas_search.cpp.o.d"
+  "hw_nas_search"
+  "hw_nas_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_nas_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

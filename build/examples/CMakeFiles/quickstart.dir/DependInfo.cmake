@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/esm/CMakeFiles/esm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nas/CMakeFiles/esm_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/surrogate/CMakeFiles/esm_surrogate.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/esm_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/esm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwsim/CMakeFiles/esm_hwsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nets/CMakeFiles/esm_nets.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/esm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/esm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/esm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esm_common.dir/archive.cpp.o"
+  "CMakeFiles/esm_common.dir/archive.cpp.o.d"
+  "CMakeFiles/esm_common.dir/argparse.cpp.o"
+  "CMakeFiles/esm_common.dir/argparse.cpp.o.d"
+  "CMakeFiles/esm_common.dir/csv.cpp.o"
+  "CMakeFiles/esm_common.dir/csv.cpp.o.d"
+  "CMakeFiles/esm_common.dir/rng.cpp.o"
+  "CMakeFiles/esm_common.dir/rng.cpp.o.d"
+  "CMakeFiles/esm_common.dir/stats.cpp.o"
+  "CMakeFiles/esm_common.dir/stats.cpp.o.d"
+  "CMakeFiles/esm_common.dir/strings.cpp.o"
+  "CMakeFiles/esm_common.dir/strings.cpp.o.d"
+  "CMakeFiles/esm_common.dir/table.cpp.o"
+  "CMakeFiles/esm_common.dir/table.cpp.o.d"
+  "libesm_common.a"
+  "libesm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encoding/encoder.cpp" "src/encoding/CMakeFiles/esm_encoding.dir/encoder.cpp.o" "gcc" "src/encoding/CMakeFiles/esm_encoding.dir/encoder.cpp.o.d"
+  "/root/repo/src/encoding/encoders.cpp" "src/encoding/CMakeFiles/esm_encoding.dir/encoders.cpp.o" "gcc" "src/encoding/CMakeFiles/esm_encoding.dir/encoders.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/esm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/esm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/nets/CMakeFiles/esm_nets.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/esm_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

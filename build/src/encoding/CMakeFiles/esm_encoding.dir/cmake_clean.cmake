@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esm_encoding.dir/encoder.cpp.o"
+  "CMakeFiles/esm_encoding.dir/encoder.cpp.o.d"
+  "CMakeFiles/esm_encoding.dir/encoders.cpp.o"
+  "CMakeFiles/esm_encoding.dir/encoders.cpp.o.d"
+  "libesm_encoding.a"
+  "libesm_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esm_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

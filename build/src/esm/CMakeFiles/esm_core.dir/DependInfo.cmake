@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/esm/config.cpp" "src/esm/CMakeFiles/esm_core.dir/config.cpp.o" "gcc" "src/esm/CMakeFiles/esm_core.dir/config.cpp.o.d"
+  "/root/repo/src/esm/dataset_gen.cpp" "src/esm/CMakeFiles/esm_core.dir/dataset_gen.cpp.o" "gcc" "src/esm/CMakeFiles/esm_core.dir/dataset_gen.cpp.o.d"
+  "/root/repo/src/esm/evaluator.cpp" "src/esm/CMakeFiles/esm_core.dir/evaluator.cpp.o" "gcc" "src/esm/CMakeFiles/esm_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/esm/extension.cpp" "src/esm/CMakeFiles/esm_core.dir/extension.cpp.o" "gcc" "src/esm/CMakeFiles/esm_core.dir/extension.cpp.o.d"
+  "/root/repo/src/esm/framework.cpp" "src/esm/CMakeFiles/esm_core.dir/framework.cpp.o" "gcc" "src/esm/CMakeFiles/esm_core.dir/framework.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/esm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nets/CMakeFiles/esm_nets.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwsim/CMakeFiles/esm_hwsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/esm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/esm_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/surrogate/CMakeFiles/esm_surrogate.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/esm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/esm_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esm_core.dir/config.cpp.o"
+  "CMakeFiles/esm_core.dir/config.cpp.o.d"
+  "CMakeFiles/esm_core.dir/dataset_gen.cpp.o"
+  "CMakeFiles/esm_core.dir/dataset_gen.cpp.o.d"
+  "CMakeFiles/esm_core.dir/evaluator.cpp.o"
+  "CMakeFiles/esm_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/esm_core.dir/extension.cpp.o"
+  "CMakeFiles/esm_core.dir/extension.cpp.o.d"
+  "CMakeFiles/esm_core.dir/framework.cpp.o"
+  "CMakeFiles/esm_core.dir/framework.cpp.o.d"
+  "libesm_core.a"
+  "libesm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwsim/device.cpp" "src/hwsim/CMakeFiles/esm_hwsim.dir/device.cpp.o" "gcc" "src/hwsim/CMakeFiles/esm_hwsim.dir/device.cpp.o.d"
+  "/root/repo/src/hwsim/energy_model.cpp" "src/hwsim/CMakeFiles/esm_hwsim.dir/energy_model.cpp.o" "gcc" "src/hwsim/CMakeFiles/esm_hwsim.dir/energy_model.cpp.o.d"
+  "/root/repo/src/hwsim/latency_model.cpp" "src/hwsim/CMakeFiles/esm_hwsim.dir/latency_model.cpp.o" "gcc" "src/hwsim/CMakeFiles/esm_hwsim.dir/latency_model.cpp.o.d"
+  "/root/repo/src/hwsim/measurement.cpp" "src/hwsim/CMakeFiles/esm_hwsim.dir/measurement.cpp.o" "gcc" "src/hwsim/CMakeFiles/esm_hwsim.dir/measurement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/esm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/esm_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esm_hwsim.dir/device.cpp.o"
+  "CMakeFiles/esm_hwsim.dir/device.cpp.o.d"
+  "CMakeFiles/esm_hwsim.dir/energy_model.cpp.o"
+  "CMakeFiles/esm_hwsim.dir/energy_model.cpp.o.d"
+  "CMakeFiles/esm_hwsim.dir/latency_model.cpp.o"
+  "CMakeFiles/esm_hwsim.dir/latency_model.cpp.o.d"
+  "CMakeFiles/esm_hwsim.dir/measurement.cpp.o"
+  "CMakeFiles/esm_hwsim.dir/measurement.cpp.o.d"
+  "libesm_hwsim.a"
+  "libesm_hwsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esm_hwsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for esm_hwsim.
+# This may be replaced when dependencies are built.

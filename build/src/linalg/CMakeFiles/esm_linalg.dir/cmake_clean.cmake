@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esm_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/esm_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/esm_linalg.dir/solve.cpp.o"
+  "CMakeFiles/esm_linalg.dir/solve.cpp.o.d"
+  "CMakeFiles/esm_linalg.dir/standardizer.cpp.o"
+  "CMakeFiles/esm_linalg.dir/standardizer.cpp.o.d"
+  "libesm_linalg.a"
+  "libesm_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esm_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/esm_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/esm_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/gbdt.cpp" "src/ml/CMakeFiles/esm_ml.dir/gbdt.cpp.o" "gcc" "src/ml/CMakeFiles/esm_ml.dir/gbdt.cpp.o.d"
+  "/root/repo/src/ml/gcn.cpp" "src/ml/CMakeFiles/esm_ml.dir/gcn.cpp.o" "gcc" "src/ml/CMakeFiles/esm_ml.dir/gcn.cpp.o.d"
+  "/root/repo/src/ml/linreg.cpp" "src/ml/CMakeFiles/esm_ml.dir/linreg.cpp.o" "gcc" "src/ml/CMakeFiles/esm_ml.dir/linreg.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/esm_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/esm_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/ml/CMakeFiles/esm_ml.dir/mlp.cpp.o" "gcc" "src/ml/CMakeFiles/esm_ml.dir/mlp.cpp.o.d"
+  "/root/repo/src/ml/trainer.cpp" "src/ml/CMakeFiles/esm_ml.dir/trainer.cpp.o" "gcc" "src/ml/CMakeFiles/esm_ml.dir/trainer.cpp.o.d"
+  "/root/repo/src/ml/tree.cpp" "src/ml/CMakeFiles/esm_ml.dir/tree.cpp.o" "gcc" "src/ml/CMakeFiles/esm_ml.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/esm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/esm_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esm_ml.dir/dataset.cpp.o"
+  "CMakeFiles/esm_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/esm_ml.dir/gbdt.cpp.o"
+  "CMakeFiles/esm_ml.dir/gbdt.cpp.o.d"
+  "CMakeFiles/esm_ml.dir/gcn.cpp.o"
+  "CMakeFiles/esm_ml.dir/gcn.cpp.o.d"
+  "CMakeFiles/esm_ml.dir/linreg.cpp.o"
+  "CMakeFiles/esm_ml.dir/linreg.cpp.o.d"
+  "CMakeFiles/esm_ml.dir/metrics.cpp.o"
+  "CMakeFiles/esm_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/esm_ml.dir/mlp.cpp.o"
+  "CMakeFiles/esm_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/esm_ml.dir/trainer.cpp.o"
+  "CMakeFiles/esm_ml.dir/trainer.cpp.o.d"
+  "CMakeFiles/esm_ml.dir/tree.cpp.o"
+  "CMakeFiles/esm_ml.dir/tree.cpp.o.d"
+  "libesm_ml.a"
+  "libesm_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esm_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

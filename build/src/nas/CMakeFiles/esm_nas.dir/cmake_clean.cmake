@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esm_nas.dir/accuracy_proxy.cpp.o"
+  "CMakeFiles/esm_nas.dir/accuracy_proxy.cpp.o.d"
+  "CMakeFiles/esm_nas.dir/pareto.cpp.o"
+  "CMakeFiles/esm_nas.dir/pareto.cpp.o.d"
+  "CMakeFiles/esm_nas.dir/search.cpp.o"
+  "CMakeFiles/esm_nas.dir/search.cpp.o.d"
+  "libesm_nas.a"
+  "libesm_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esm_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libesm_nas.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nets/arch.cpp" "src/nets/CMakeFiles/esm_nets.dir/arch.cpp.o" "gcc" "src/nets/CMakeFiles/esm_nets.dir/arch.cpp.o.d"
+  "/root/repo/src/nets/build_densenet.cpp" "src/nets/CMakeFiles/esm_nets.dir/build_densenet.cpp.o" "gcc" "src/nets/CMakeFiles/esm_nets.dir/build_densenet.cpp.o.d"
+  "/root/repo/src/nets/build_mobilenet.cpp" "src/nets/CMakeFiles/esm_nets.dir/build_mobilenet.cpp.o" "gcc" "src/nets/CMakeFiles/esm_nets.dir/build_mobilenet.cpp.o.d"
+  "/root/repo/src/nets/build_resnet.cpp" "src/nets/CMakeFiles/esm_nets.dir/build_resnet.cpp.o" "gcc" "src/nets/CMakeFiles/esm_nets.dir/build_resnet.cpp.o.d"
+  "/root/repo/src/nets/builder.cpp" "src/nets/CMakeFiles/esm_nets.dir/builder.cpp.o" "gcc" "src/nets/CMakeFiles/esm_nets.dir/builder.cpp.o.d"
+  "/root/repo/src/nets/composition.cpp" "src/nets/CMakeFiles/esm_nets.dir/composition.cpp.o" "gcc" "src/nets/CMakeFiles/esm_nets.dir/composition.cpp.o.d"
+  "/root/repo/src/nets/depth_bins.cpp" "src/nets/CMakeFiles/esm_nets.dir/depth_bins.cpp.o" "gcc" "src/nets/CMakeFiles/esm_nets.dir/depth_bins.cpp.o.d"
+  "/root/repo/src/nets/sampler.cpp" "src/nets/CMakeFiles/esm_nets.dir/sampler.cpp.o" "gcc" "src/nets/CMakeFiles/esm_nets.dir/sampler.cpp.o.d"
+  "/root/repo/src/nets/supernet.cpp" "src/nets/CMakeFiles/esm_nets.dir/supernet.cpp.o" "gcc" "src/nets/CMakeFiles/esm_nets.dir/supernet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/esm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/esm_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esm_nets.dir/arch.cpp.o"
+  "CMakeFiles/esm_nets.dir/arch.cpp.o.d"
+  "CMakeFiles/esm_nets.dir/build_densenet.cpp.o"
+  "CMakeFiles/esm_nets.dir/build_densenet.cpp.o.d"
+  "CMakeFiles/esm_nets.dir/build_mobilenet.cpp.o"
+  "CMakeFiles/esm_nets.dir/build_mobilenet.cpp.o.d"
+  "CMakeFiles/esm_nets.dir/build_resnet.cpp.o"
+  "CMakeFiles/esm_nets.dir/build_resnet.cpp.o.d"
+  "CMakeFiles/esm_nets.dir/builder.cpp.o"
+  "CMakeFiles/esm_nets.dir/builder.cpp.o.d"
+  "CMakeFiles/esm_nets.dir/composition.cpp.o"
+  "CMakeFiles/esm_nets.dir/composition.cpp.o.d"
+  "CMakeFiles/esm_nets.dir/depth_bins.cpp.o"
+  "CMakeFiles/esm_nets.dir/depth_bins.cpp.o.d"
+  "CMakeFiles/esm_nets.dir/sampler.cpp.o"
+  "CMakeFiles/esm_nets.dir/sampler.cpp.o.d"
+  "CMakeFiles/esm_nets.dir/supernet.cpp.o"
+  "CMakeFiles/esm_nets.dir/supernet.cpp.o.d"
+  "libesm_nets.a"
+  "libesm_nets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esm_nets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esm_nn.dir/graph.cpp.o"
+  "CMakeFiles/esm_nn.dir/graph.cpp.o.d"
+  "CMakeFiles/esm_nn.dir/layer.cpp.o"
+  "CMakeFiles/esm_nn.dir/layer.cpp.o.d"
+  "libesm_nn.a"
+  "libesm_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esm_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/surrogate/ensemble_surrogate.cpp" "src/surrogate/CMakeFiles/esm_surrogate.dir/ensemble_surrogate.cpp.o" "gcc" "src/surrogate/CMakeFiles/esm_surrogate.dir/ensemble_surrogate.cpp.o.d"
+  "/root/repo/src/surrogate/flops_proxy.cpp" "src/surrogate/CMakeFiles/esm_surrogate.dir/flops_proxy.cpp.o" "gcc" "src/surrogate/CMakeFiles/esm_surrogate.dir/flops_proxy.cpp.o.d"
+  "/root/repo/src/surrogate/gcn_surrogate.cpp" "src/surrogate/CMakeFiles/esm_surrogate.dir/gcn_surrogate.cpp.o" "gcc" "src/surrogate/CMakeFiles/esm_surrogate.dir/gcn_surrogate.cpp.o.d"
+  "/root/repo/src/surrogate/lut_surrogate.cpp" "src/surrogate/CMakeFiles/esm_surrogate.dir/lut_surrogate.cpp.o" "gcc" "src/surrogate/CMakeFiles/esm_surrogate.dir/lut_surrogate.cpp.o.d"
+  "/root/repo/src/surrogate/mlp_surrogate.cpp" "src/surrogate/CMakeFiles/esm_surrogate.dir/mlp_surrogate.cpp.o" "gcc" "src/surrogate/CMakeFiles/esm_surrogate.dir/mlp_surrogate.cpp.o.d"
+  "/root/repo/src/surrogate/predictor.cpp" "src/surrogate/CMakeFiles/esm_surrogate.dir/predictor.cpp.o" "gcc" "src/surrogate/CMakeFiles/esm_surrogate.dir/predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/esm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/esm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/esm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/nets/CMakeFiles/esm_nets.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwsim/CMakeFiles/esm_hwsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/esm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/esm_encoding.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

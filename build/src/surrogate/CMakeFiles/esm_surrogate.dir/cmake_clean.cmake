@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esm_surrogate.dir/ensemble_surrogate.cpp.o"
+  "CMakeFiles/esm_surrogate.dir/ensemble_surrogate.cpp.o.d"
+  "CMakeFiles/esm_surrogate.dir/flops_proxy.cpp.o"
+  "CMakeFiles/esm_surrogate.dir/flops_proxy.cpp.o.d"
+  "CMakeFiles/esm_surrogate.dir/gcn_surrogate.cpp.o"
+  "CMakeFiles/esm_surrogate.dir/gcn_surrogate.cpp.o.d"
+  "CMakeFiles/esm_surrogate.dir/lut_surrogate.cpp.o"
+  "CMakeFiles/esm_surrogate.dir/lut_surrogate.cpp.o.d"
+  "CMakeFiles/esm_surrogate.dir/mlp_surrogate.cpp.o"
+  "CMakeFiles/esm_surrogate.dir/mlp_surrogate.cpp.o.d"
+  "CMakeFiles/esm_surrogate.dir/predictor.cpp.o"
+  "CMakeFiles/esm_surrogate.dir/predictor.cpp.o.d"
+  "libesm_surrogate.a"
+  "libesm_surrogate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esm_surrogate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

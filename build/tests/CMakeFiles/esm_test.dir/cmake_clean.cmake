@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esm_test.dir/esm_test.cpp.o"
+  "CMakeFiles/esm_test.dir/esm_test.cpp.o.d"
+  "esm_test"
+  "esm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surrogate_test.dir/surrogate_test.cpp.o"
+  "CMakeFiles/surrogate_test.dir/surrogate_test.cpp.o.d"
+  "surrogate_test"
+  "surrogate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surrogate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;12;esm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(linalg_test "/root/repo/build/tests/linalg_test")
+set_tests_properties(linalg_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;13;esm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(nn_test "/root/repo/build/tests/nn_test")
+set_tests_properties(nn_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;14;esm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(nets_test "/root/repo/build/tests/nets_test")
+set_tests_properties(nets_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;15;esm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(hwsim_test "/root/repo/build/tests/hwsim_test")
+set_tests_properties(hwsim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;16;esm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ml_test "/root/repo/build/tests/ml_test")
+set_tests_properties(ml_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;17;esm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(encoding_test "/root/repo/build/tests/encoding_test")
+set_tests_properties(encoding_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;18;esm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(surrogate_test "/root/repo/build/tests/surrogate_test")
+set_tests_properties(surrogate_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;19;esm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(esm_test "/root/repo/build/tests/esm_test")
+set_tests_properties(esm_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;20;esm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(nas_test "/root/repo/build/tests/nas_test")
+set_tests_properties(nas_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;21;esm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;22;esm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/tests/property_test")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;23;esm_test;/root/repo/tests/CMakeLists.txt;0;")
