@@ -1,8 +1,10 @@
 #include "bench_util.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <ostream>
 
+#include "common/error.hpp"
 #include "common/stats.hpp"
 #include "common/strings.hpp"
 #include "ml/metrics.hpp"
@@ -107,6 +109,25 @@ void print_scatter_sample(std::ostream& os, const LatencyPredictor& predictor,
                    format_percent(std::abs(pred - actual) / actual, 1)});
   }
   table.print(os);
+}
+
+void write_parallel_bench_json(
+    const std::string& path,
+    const std::vector<ParallelBenchRecord>& records) {
+  std::ofstream out(path);
+  ESM_REQUIRE(out.good(), "cannot open " << path << " for writing");
+  out << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const ParallelBenchRecord& r = records[i];
+    const double speedup =
+        r.threaded_ns > 0.0 ? r.serial_ns / r.threaded_ns : 0.0;
+    out << "  {\"name\": \"" << r.name << "\", \"serial_ns\": " << r.serial_ns
+        << ", \"threaded_ns\": " << r.threaded_ns
+        << ", \"threads\": " << r.threads << ", \"speedup\": " << speedup
+        << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
 }
 
 }  // namespace esm::bench

@@ -81,4 +81,17 @@ SurrogateResult evaluate_predictor(const LatencyPredictor& predictor,
 void print_scatter_sample(std::ostream& os, const LatencyPredictor& predictor,
                           const LabeledSet& test, std::size_t n_points);
 
+/// One serial-vs-threaded timing of a hot path, for BENCH_parallel.json.
+struct ParallelBenchRecord {
+  std::string name;
+  double serial_ns = 0.0;    ///< best-of-reps wall time, 1 thread
+  double threaded_ns = 0.0;  ///< best-of-reps wall time, `threads` threads
+  int threads = 1;
+  bool identical = false;    ///< threaded output bit-matched the serial run
+};
+
+/// Writes the records as a JSON array (with derived speedup) to `path`.
+void write_parallel_bench_json(const std::string& path,
+                               const std::vector<ParallelBenchRecord>& records);
+
 }  // namespace esm::bench

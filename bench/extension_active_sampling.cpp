@@ -8,6 +8,7 @@
 //   uncertainty— pick the candidates where a deep ensemble disagrees most.
 // After every extension round each policy's predictor is evaluated on the
 // same held-out test set (overall and worst depth bin).
+#include <algorithm>
 #include <iostream>
 
 #include "bench_util.hpp"

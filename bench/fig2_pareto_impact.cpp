@@ -8,6 +8,7 @@
 // (b) The true Pareto front is compared against fronts identified under
 //     increasingly inaccurate latency predictions: front overlap (Jaccard)
 //     and accuracy regret quantify how Pareto-optimal points "move".
+#include <algorithm>
 #include <iostream>
 
 #include "bench_util.hpp"

@@ -1,9 +1,20 @@
 // Micro-benchmarks (google-benchmark): throughput of the hot components —
 // architecture sampling, graph lowering, latency analysis, encoders, the
 // measurement protocol, and MLP training steps.
+//
+// After the google-benchmark suite, a serial-vs-threaded comparison of the
+// parallelized hot paths (GEMM row bands, QC measure-batch fan-out) runs
+// and writes BENCH_parallel.json next to the binary, asserting along the
+// way that the threaded results are bit-identical to the serial ones.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <thread>
+
 #include "bench_util.hpp"
+#include "common/parallel.hpp"
 #include "nets/builder.hpp"
 
 using namespace esm;
@@ -135,6 +146,127 @@ void BM_PredictOne(benchmark::State& state) {
 }
 BENCHMARK(BM_PredictOne);
 
+// ------------------------------------------------------------------------
+// Serial vs threaded comparison of the parallel execution layer.
+
+/// Best-of-`reps` wall time of fn(), in nanoseconds.
+template <typename Fn>
+double time_best_ns(int reps, Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    const double ns = std::chrono::duration<double, std::nano>(stop - start).count();
+    if (r == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+int threaded_target() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  // Exercise the pool even on a single-core host (speedup there is ~1x;
+  // the JSON records the thread count so readers can tell).
+  return hw < 2 ? 2 : static_cast<int>(hw);
+}
+
+bench::ParallelBenchRecord bench_gemm(std::size_t n, int threads) {
+  Rng rng(17);
+  Matrix a(n, n), b(n, n);
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = rng.uniform();
+  for (std::size_t i = 0; i < b.size(); ++i) b.data()[i] = rng.uniform();
+  Matrix serial_out, threaded_out;
+  bench::ParallelBenchRecord rec;
+  rec.name = "gemm_" + std::to_string(n) + "x" + std::to_string(n);
+  rec.threads = threads;
+  set_thread_count(1);
+  rec.serial_ns = time_best_ns(3, [&] { gemm(a, b, serial_out); });
+  set_thread_count(threads);
+  rec.threaded_ns = time_best_ns(3, [&] { gemm(a, b, threaded_out); });
+  set_thread_count(1);
+  rec.identical = std::memcmp(serial_out.data(), threaded_out.data(),
+                              serial_out.size() * sizeof(double)) == 0;
+  return rec;
+}
+
+bench::ParallelBenchRecord bench_measure_batch(std::size_t batch,
+                                               int threads) {
+  const SupernetSpec spec = resnet_spec();
+  const EsmConfig cfg = bench::dataset_config(spec);
+  RandomSampler sampler(spec);
+  Rng arch_rng(19);
+  const auto archs = sampler.sample_n(batch, arch_rng);
+
+  bench::ParallelBenchRecord rec;
+  rec.name = "measure_batch_" + std::to_string(batch);
+  rec.threads = threads;
+  // A fresh device+generator per timed run keeps every run on the same
+  // session stream, so serial and threaded runs measure identical work —
+  // and must produce identical latencies.
+  auto run_once = [&](int n_threads) {
+    set_thread_count(1);  // baseline construction outside the timing
+    SimulatedDevice device(rtx4090_spec(), 23);
+    DatasetGenerator generator(cfg, device, Rng(29));
+    set_thread_count(n_threads);
+    std::vector<MeasuredSample> samples;
+    const double ns =
+        time_best_ns(1, [&] { samples = generator.measure_batch(archs); });
+    set_thread_count(1);
+    std::vector<double> values;
+    values.reserve(samples.size());
+    for (const MeasuredSample& s : samples) values.push_back(s.latency_ms);
+    return std::pair<double, std::vector<double>>(ns, std::move(values));
+  };
+  double serial_best = 0.0, threaded_best = 0.0;
+  std::vector<double> serial_values, threaded_values;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto [serial_ns, sv] = run_once(1);
+    auto [threaded_ns, tv] = run_once(threads);
+    if (rep == 0) {
+      serial_values = sv;
+      threaded_values = tv;
+    }
+    if (rep == 0 || serial_ns < serial_best) serial_best = serial_ns;
+    if (rep == 0 || threaded_ns < threaded_best) threaded_best = threaded_ns;
+  }
+  rec.serial_ns = serial_best;
+  rec.threaded_ns = threaded_best;
+  rec.identical = serial_values == threaded_values;
+  return rec;
+}
+
+void run_parallel_suite() {
+  const int threads = threaded_target();
+  std::vector<bench::ParallelBenchRecord> records;
+  for (std::size_t n : {256u, 512u, 1024u}) {
+    records.push_back(bench_gemm(n, threads));
+  }
+  records.push_back(bench_measure_batch(64, threads));
+
+  std::cout << "\nSerial vs threaded (" << threads << " threads):\n";
+  for (const auto& r : records) {
+    std::cout << "  " << r.name << ": " << r.serial_ns / 1e6 << " ms -> "
+              << r.threaded_ns / 1e6 << " ms ("
+              << (r.threaded_ns > 0 ? r.serial_ns / r.threaded_ns : 0.0)
+              << "x, results " << (r.identical ? "identical" : "DIFFER")
+              << ")\n";
+    if (!r.identical) {
+      std::cerr << "FATAL: " << r.name
+                << " produced thread-count-dependent results\n";
+      std::exit(1);
+    }
+  }
+  bench::write_parallel_bench_json("BENCH_parallel.json", records);
+  std::cout << "wrote BENCH_parallel.json\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_parallel_suite();
+  return 0;
+}

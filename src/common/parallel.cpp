@@ -1,0 +1,217 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace esm {
+namespace {
+
+thread_local bool tl_in_region = false;
+
+/// RAII marker for "this thread is executing chunks of a region". Restores
+/// the previous value so a nested inline region ending does not clear the
+/// flag of the enclosing chunk (which would let a later nested call reach
+/// the pool from inside a worker and deadlock).
+struct RegionGuard {
+  RegionGuard() : prev_(tl_in_region) { tl_in_region = true; }
+  ~RegionGuard() { tl_in_region = prev_; }
+  bool prev_;
+};
+
+std::atomic<int> g_override{0};
+
+int clamp_threads(long n) {
+  if (n == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    n = hw == 0 ? 1 : static_cast<long>(hw);
+  }
+  if (n < 1) return 1;
+  if (n > 256) return 256;
+  return static_cast<int>(n);
+}
+
+/// One parallel region: chunks are claimed off an atomic counter by the
+/// caller and every worker; the last finisher signals completion.
+struct Job {
+  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  std::size_t grain = 1;
+  std::size_t n = 0;
+  std::size_t n_chunks = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> remaining{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+};
+
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  ~Pool() { stop_workers(); }
+
+  int workers() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int>(threads_.size());
+  }
+
+  void shutdown() { stop_workers(); }
+
+  void run(std::size_t grain, std::size_t n,
+           const std::function<void(std::size_t, std::size_t)>& fn,
+           int threads) {
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->grain = grain;
+    job->n = n;
+    job->n_chunks = (n + grain - 1) / grain;
+    job->remaining.store(job->n_chunks, std::memory_order_relaxed);
+
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      // Serialize concurrent top-level regions: one job at a time.
+      done_cv_.wait(lock, [&] { return job_ == nullptr; });
+      resize_locked(lock, threads - 1);
+      job_ = job;
+    }
+    work_cv_.notify_all();
+
+    execute_chunks(*job);  // the caller is always a participant
+
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_cv_.wait(lock, [&] {
+        return job->remaining.load(std::memory_order_acquire) == 0;
+      });
+      job_.reset();
+    }
+    done_cv_.notify_all();  // wake any caller queued on job_ == nullptr
+
+    if (job->failed.load(std::memory_order_acquire)) {
+      std::rethrow_exception(job->error);
+    }
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_cv_.wait(lock, [&] {
+          return stop_ ||
+                 (job_ != nullptr &&
+                  job_->next.load(std::memory_order_relaxed) < job_->n_chunks);
+        });
+        if (stop_) return;
+        job = job_;
+      }
+      execute_chunks(*job);
+    }
+  }
+
+  void execute_chunks(Job& job) {
+    RegionGuard guard;
+    for (;;) {
+      const std::size_t chunk =
+          job.next.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= job.n_chunks) return;
+      const std::size_t begin = chunk * job.grain;
+      const std::size_t end = std::min(begin + job.grain, job.n);
+      if (!job.failed.load(std::memory_order_acquire)) {
+        try {
+          (*job.fn)(begin, end);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(job.error_mutex);
+          if (!job.error) job.error = std::current_exception();
+          job.failed.store(true, std::memory_order_release);
+        }
+      }
+      if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  /// Grows/shrinks the worker set; only called while no job is active.
+  void resize_locked(std::unique_lock<std::mutex>& lock, int desired) {
+    if (desired < 0) desired = 0;
+    if (static_cast<int>(threads_.size()) == desired) return;
+    // Drain the old crew completely, then hire the new one.
+    stop_ = true;
+    work_cv_.notify_all();
+    lock.unlock();
+    for (std::thread& t : threads_) t.join();
+    lock.lock();
+    threads_.clear();
+    stop_ = false;
+    threads_.reserve(static_cast<std::size_t>(desired));
+    for (int i = 0; i < desired; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  void stop_workers() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    resize_locked(lock, 0);
+  }
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> threads_;
+  std::shared_ptr<Job> job_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+int thread_count() {
+  const int override_n = g_override.load(std::memory_order_relaxed);
+  if (override_n > 0) return clamp_threads(override_n);
+  // Re-read the environment on every call: cheap, and lets tests (and
+  // long-lived embedders) retune without a process restart.
+  const char* env = std::getenv("ESM_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  const long parsed = std::strtol(env, &end, 10);
+  if (end == env || parsed < 0) return 1;  // malformed: stay serial
+  return clamp_threads(parsed);
+}
+
+void set_thread_count(int n) {
+  ESM_REQUIRE(n >= 0, "set_thread_count requires n >= 0");
+  g_override.store(n, std::memory_order_relaxed);
+}
+
+bool in_parallel_region() { return tl_in_region; }
+
+void shutdown_pool() { Pool::instance().shutdown(); }
+
+int pool_workers() { return Pool::instance().workers(); }
+
+void parallel_for(std::size_t grain, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const int threads = thread_count();
+  if (threads <= 1 || n <= grain || tl_in_region) {
+    RegionGuard guard;
+    fn(0, n);
+    return;
+  }
+  Pool::instance().run(grain, n, fn, threads);
+}
+
+}  // namespace esm

@@ -107,4 +107,17 @@ Rng Rng::split() {
   return Rng(a ^ rotl(b, 32));
 }
 
+Rng Rng::split(std::uint64_t stream_id) const {
+  // Rekey: fold the full parent state and the stream id through splitmix64
+  // so sibling substreams are decorrelated. The parent state is only read,
+  // never advanced, making substream derivation order-independent.
+  std::uint64_t s = stream_id ^ 0x243f6a8885a308d3ull;  // pi fraction bits
+  std::uint64_t seed = splitmix64(s);
+  for (const std::uint64_t word : state_) {
+    s ^= word;
+    seed ^= splitmix64(s);
+  }
+  return Rng(seed);
+}
+
 }  // namespace esm

@@ -67,6 +67,13 @@ class Rng {
   /// parent state is stable across runs.
   Rng split();
 
+  /// Derives the `stream_id`-th substream of the current state WITHOUT
+  /// advancing the parent (splitmix64 rekeying). Substreams with distinct
+  /// ids are decorrelated, and because the parent is untouched, any set of
+  /// substreams can be drawn in any order — the foundation of the
+  /// deterministic parallel-measurement contract (see common/parallel.hpp).
+  Rng split(std::uint64_t stream_id) const;
+
  private:
   std::array<std::uint64_t, 4> state_;
   double spare_normal_ = 0.0;

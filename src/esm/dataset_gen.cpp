@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "nets/sampler.hpp"
 
@@ -25,12 +26,22 @@ DatasetGenerator::DatasetGenerator(const EsmConfig& config,
   }
 
   // Establish per-reference baselines as the median over several sessions,
-  // so a single bad session cannot poison the baseline.
+  // so a single bad session cannot poison the baseline. References within
+  // a session are measured concurrently, each on its own noise substream.
   std::vector<std::vector<double>> sessions(references_.size());
   for (int s = 0; s < config_.qc_baseline_sessions; ++s) {
     device_->begin_session();
-    for (std::size_t i = 0; i < reference_graphs_.size(); ++i) {
-      sessions[i].push_back(device_->measure_ms(reference_graphs_[i]));
+    const Rng session_rng = rng_.split();
+    const auto measured = parallel_map(
+        reference_graphs_.size(),
+        [&](std::size_t i) {
+          return device_->measure_ms_stream(
+              reference_graphs_[i],
+              session_rng.split(static_cast<std::uint64_t>(i)));
+        });
+    for (std::size_t i = 0; i < measured.size(); ++i) {
+      sessions[i].push_back(measured[i].value_ms);
+      device_->add_measurement_cost(measured[i].cost_seconds);
     }
   }
   baselines_.reserve(references_.size());
@@ -43,24 +54,50 @@ std::vector<MeasuredSample> DatasetGenerator::run_session(
     const std::vector<ArchConfig>& archs, QcReport& report) {
   device_->begin_session();
 
-  // References measured first (canary), then the batch, then references
-  // again — drift growing *during* the batch is caught by the second pass.
-  std::vector<double> deviations;
-  auto measure_references = [&] {
-    for (std::size_t i = 0; i < reference_graphs_.size(); ++i) {
-      const double value = device_->measure_ms(reference_graphs_[i]);
-      deviations.push_back(std::abs(value - baselines_[i]) / baselines_[i]);
+  // All measurements of the session fan out concurrently, each on a noise
+  // substream keyed by its position in the session — so the session's
+  // results depend only on (device session state, session stream), never
+  // on thread count or completion order. The reference models are
+  // scheduled twice (the paper's canary-before/canary-after pattern);
+  // because session drift is a per-session regime here, both passes probe
+  // the same regime on independent substreams, doubling the QC evidence.
+  const std::size_t n_refs = reference_graphs_.size();
+  const std::size_t n_tasks = 2 * n_refs + archs.size();
+  const Rng session_rng = rng_.split();
+  const auto measured = parallel_map(n_tasks, [&](std::size_t t) {
+    const Rng noise = session_rng.split(static_cast<std::uint64_t>(t));
+    if (t < n_refs) {
+      return device_->measure_ms_stream(reference_graphs_[t], noise);
     }
-  };
+    if (t < n_refs + archs.size()) {
+      const LayerGraph graph =
+          build_graph(config_.spec, archs[t - n_refs]);
+      return device_->measure_ms_stream(graph, noise);
+    }
+    return device_->measure_ms_stream(
+        reference_graphs_[t - n_refs - archs.size()], noise);
+  });
 
-  measure_references();
+  // Deterministic reductions, all in task-index order: cost accounting,
+  // reference deviations, then the batch samples.
+  for (const StreamMeasurement& m : measured) {
+    device_->add_measurement_cost(m.cost_seconds);
+  }
+  std::vector<double> deviations;
+  deviations.reserve(2 * n_refs);
+  auto push_deviation = [&](std::size_t task, std::size_t ref) {
+    deviations.push_back(std::abs(measured[task].value_ms - baselines_[ref]) /
+                         baselines_[ref]);
+  };
+  for (std::size_t i = 0; i < n_refs; ++i) push_deviation(i, i);
+  for (std::size_t i = 0; i < n_refs; ++i) {
+    push_deviation(n_refs + archs.size() + i, i);
+  }
   std::vector<MeasuredSample> samples;
   samples.reserve(archs.size());
-  for (const ArchConfig& arch : archs) {
-    const LayerGraph graph = build_graph(config_.spec, arch);
-    samples.push_back({arch, device_->measure_ms(graph)});
+  for (std::size_t i = 0; i < archs.size(); ++i) {
+    samples.push_back({archs[i], measured[n_refs + i].value_ms});
   }
-  measure_references();
 
   // Outliers (Fig. 6): individual readings outside the boundary. They are
   // excluded from the aggregate; QC fails when too many occur or the

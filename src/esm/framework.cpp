@@ -1,6 +1,7 @@
 #include "esm/framework.hpp"
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "esm/extension.hpp"
 
 namespace esm {
@@ -8,6 +9,9 @@ namespace esm {
 EsmFramework::EsmFramework(EsmConfig config, SimulatedDevice& device)
     : config_(std::move(config)), device_(&device) {
   config_.validate();
+  // The knob routes through the global pool setting; 0 leaves whatever
+  // ESM_THREADS (or a previous set_thread_count) established in place.
+  if (config_.threads > 0) set_thread_count(config_.threads);
 }
 
 std::unique_ptr<MlpSurrogate> EsmFramework::make_predictor() const {

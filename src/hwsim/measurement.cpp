@@ -40,23 +40,49 @@ void SimulatedDevice::begin_session() {
 }
 
 double SimulatedDevice::one_run_ms(double true_ms, int run_index) {
+  return one_run_with(true_ms, run_index, rng_, walk_deviation_);
+}
+
+double SimulatedDevice::one_run_with(double true_ms, int run_index, Rng& rng,
+                                     double& walk_deviation) const {
   const DeviceSpec& d = spec();
   // Mean-reverting intra-session clock deviation (stationary std is about
   // 10x walk_sigma_ at this reversion rate, i.e. ~0.6 % in good sessions).
-  walk_deviation_ =
-      0.995 * walk_deviation_ + rng_.normal(0.0, walk_sigma_);
-  double value = true_ms * session_factor_ * (1.0 + walk_deviation_);
+  walk_deviation = 0.995 * walk_deviation + rng.normal(0.0, walk_sigma_);
+  double value = true_ms * session_factor_ * (1.0 + walk_deviation);
   // Warm-up: caches/JIT settle over the first few runs.
   if (run_index < 3) {
     value *= 1.0 + d.warmup_amplitude * std::exp(-run_index);
   }
   // Per-run clock jitter.
-  value *= 1.0 + rng_.normal(0.0, d.run_noise_cv);
+  value *= 1.0 + rng.normal(0.0, d.run_noise_cv);
   // Occasional outlier spike (scheduler preemption, throttle event).
-  if (rng_.bernoulli(d.outlier_prob)) {
-    value *= d.outlier_scale * (1.0 + 0.5 * rng_.uniform());
+  if (rng.bernoulli(d.outlier_prob)) {
+    value *= d.outlier_scale * (1.0 + 0.5 * rng.uniform());
   }
   return std::max(value, 1e-6);
+}
+
+StreamMeasurement SimulatedDevice::measure_ms_stream(const LayerGraph& graph,
+                                                     Rng noise) const {
+  const double true_ms = model_.true_latency_ms(graph);
+  const DeviceSpec& d = spec();
+  StreamMeasurement result;
+  for (int i = 0; i < protocol_.warmup_runs; ++i) {
+    result.cost_seconds += (true_ms + d.host_overhead_ms) / 1000.0;
+  }
+  // The clock walk starts at the session set point for every substream:
+  // the measurement depends only on the session state and `noise`.
+  double walk_deviation = 0.0;
+  std::vector<double> trace;
+  trace.reserve(static_cast<std::size_t>(protocol_.runs));
+  for (int i = 0; i < protocol_.runs; ++i) {
+    const double run = one_run_with(true_ms, i, noise, walk_deviation);
+    trace.push_back(run);
+    result.cost_seconds += (run + d.host_overhead_ms) / 1000.0;
+  }
+  result.value_ms = summarize(trace, protocol_.trim_fraction);
+  return result;
 }
 
 std::vector<double> SimulatedDevice::measure_trace_ms(

@@ -30,6 +30,15 @@ struct MeasurementProtocol {
   int warmup_runs = 5;         ///< untimed warm-up inferences per model
 };
 
+/// One measurement executed on an explicit noise substream: the latency
+/// value plus the simulated wall-clock cost it incurred. Costs are
+/// returned (not accumulated on the device) so concurrent measurements can
+/// be reduced in deterministic index order by the caller.
+struct StreamMeasurement {
+  double value_ms = 0.0;
+  double cost_seconds = 0.0;
+};
+
 /// A device under measurement: deterministic model + stochastic channel.
 class SimulatedDevice {
  public:
@@ -64,6 +73,21 @@ class SimulatedDevice {
   /// and cost accounting exactly like measure_ms.
   std::vector<double> measure_trace_ms(const LayerGraph& graph);
 
+  /// Simulates one full measurement whose noise comes entirely from the
+  /// given substream instead of the device's own sequential stream. The
+  /// session regime (drift factor, walk sigma drawn by begin_session) is
+  /// shared, but the intra-measurement clock walk is local to this call,
+  /// so the result depends only on (session state, noise stream) — not on
+  /// how many other measurements run concurrently. Const and thread-safe
+  /// with respect to other stream measurements in the same session; the
+  /// caller adds the returned cost via add_measurement_cost() in
+  /// deterministic order.
+  StreamMeasurement measure_ms_stream(const LayerGraph& graph,
+                                      Rng noise) const;
+
+  /// Adds externally accounted measuring time (see measure_ms_stream).
+  void add_measurement_cost(double seconds) { cost_seconds_ += seconds; }
+
   /// Simulates a power-logger measurement of per-inference energy: the
   /// same warm-up + runs + trimmed-mean protocol and the same noise
   /// channel, applied to the energy model's reading.
@@ -81,6 +105,12 @@ class SimulatedDevice {
 
  private:
   double one_run_ms(double true_ms, int run_index);
+
+  /// One noisy run drawn from an explicit stream and walk state; shared by
+  /// the sequential path (device stream + persistent walk) and the
+  /// substream path (local stream + local walk).
+  double one_run_with(double true_ms, int run_index, Rng& rng,
+                      double& walk_deviation) const;
 
   LatencyModel model_;
   EnergyModel energy_;

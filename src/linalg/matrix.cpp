@@ -1,10 +1,31 @@
 #include "linalg/matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace esm {
+
+namespace {
+
+// Parallel granularity: a band must amortize one pool hand-off (~µs), so
+// require at least this many multiply-adds per chunk.
+constexpr std::size_t kMinFlopsPerBand = 1u << 15;
+
+// k-tile for gemm/gemm_at_b: keeps a window of B rows hot in cache while a
+// row band sweeps over them. Tiling only regroups the traversal; each
+// output element still sees ascending k, so values are unchanged.
+constexpr std::size_t kBlockK = 64;
+
+std::size_t band_grain(std::size_t rows, std::size_t flops_per_row) {
+  const std::size_t rows_per_band =
+      flops_per_row == 0 ? rows : kMinFlopsPerBand / (flops_per_row + 1) + 1;
+  return std::clamp<std::size_t>(rows_per_band, 1, std::max<std::size_t>(rows, 1));
+}
+
+}  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols)
     : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
@@ -30,10 +51,6 @@ Matrix Matrix::identity(std::size_t n) {
 
 void Matrix::fill(double value) {
   for (double& x : data_) x = value;
-}
-
-void Matrix::apply(const std::function<double(double)>& f) {
-  for (double& x : data_) x = f(x);
 }
 
 void Matrix::add_scaled(const Matrix& other, double alpha) {
@@ -64,60 +81,80 @@ void gemm(const Matrix& a, const Matrix& b, Matrix& out) {
                                                           << b.rows());
   out = Matrix(a.rows(), b.cols());
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  // i-k-j loop order keeps the inner loop contiguous for row-major data.
-  for (std::size_t i = 0; i < m; ++i) {
-    double* out_row = out.data() + i * n;
-    const double* a_row = a.data() + i * k;
-    for (std::size_t p = 0; p < k; ++p) {
-      const double aik = a_row[p];
-      if (aik == 0.0) continue;
-      const double* b_row = b.data() + p * n;
-      for (std::size_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
+  // Row bands of `out` are independent; within a band the k-tiled i-p-j
+  // order keeps the inner loop contiguous and reuses the tile of b rows.
+  parallel_for(band_grain(m, k * n), m, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
+      const std::size_t p1 = std::min(k, p0 + kBlockK);
+      for (std::size_t i = r0; i < r1; ++i) {
+        double* out_row = out.data() + i * n;
+        const double* a_row = a.data() + i * k;
+        for (std::size_t p = p0; p < p1; ++p) {
+          const double aik = a_row[p];
+          if (aik == 0.0) continue;
+          const double* b_row = b.data() + p * n;
+          for (std::size_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
+        }
+      }
     }
-  }
+  });
 }
 
 void gemm_at_b(const Matrix& a, const Matrix& b, Matrix& out) {
   ESM_CHECK(a.rows() == b.rows(), "gemm_at_b shape mismatch");
   out = Matrix(a.cols(), b.cols());
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
-  for (std::size_t p = 0; p < k; ++p) {
-    const double* a_row = a.data() + p * m;
-    const double* b_row = b.data() + p * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const double aip = a_row[i];
-      if (aip == 0.0) continue;
-      double* out_row = out.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) out_row[j] += aip * b_row[j];
+  // Transpose-aware banding: a is read down columns (stride m), so each
+  // band walks a k-tile of a/b rows before moving its output rows forward.
+  parallel_for(band_grain(m, k * n), m, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
+      const std::size_t p1 = std::min(k, p0 + kBlockK);
+      for (std::size_t p = p0; p < p1; ++p) {
+        const double* a_row = a.data() + p * m;
+        const double* b_row = b.data() + p * n;
+        for (std::size_t i = r0; i < r1; ++i) {
+          const double aip = a_row[i];
+          if (aip == 0.0) continue;
+          double* out_row = out.data() + i * n;
+          for (std::size_t j = 0; j < n; ++j) out_row[j] += aip * b_row[j];
+        }
+      }
     }
-  }
+  });
 }
 
 void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& out) {
   ESM_CHECK(a.cols() == b.cols(), "gemm_a_bt shape mismatch");
   out = Matrix(a.rows(), b.rows());
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (std::size_t i = 0; i < m; ++i) {
-    const double* a_row = a.data() + i * k;
-    double* out_row = out.data() + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const double* b_row = b.data() + j * k;
-      double acc = 0.0;
-      for (std::size_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
-      out_row[j] = acc;
+  parallel_for(band_grain(m, k * n), m, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const double* a_row = a.data() + i * k;
+      double* out_row = out.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double* b_row = b.data() + j * k;
+        double acc = 0.0;
+        for (std::size_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+        out_row[j] = acc;
+      }
     }
-  }
+  });
 }
 
 std::vector<double> matvec(const Matrix& a, std::span<const double> x) {
   ESM_CHECK(a.cols() == x.size(), "matvec shape mismatch");
   std::vector<double> y(a.rows(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* row = a.data() + i * a.cols();
-    double acc = 0.0;
-    for (std::size_t j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
-    y[i] = acc;
-  }
+  parallel_for(band_grain(a.rows(), a.cols()), a.rows(),
+               [&](std::size_t r0, std::size_t r1) {
+                 for (std::size_t i = r0; i < r1; ++i) {
+                   const double* row = a.data() + i * a.cols();
+                   double acc = 0.0;
+                   for (std::size_t j = 0; j < a.cols(); ++j) {
+                     acc += row[j] * x[j];
+                   }
+                   y[i] = acc;
+                 }
+               });
   return y;
 }
 

@@ -5,7 +5,6 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
 #include <span>
 #include <vector>
 
@@ -55,8 +54,13 @@ class Matrix {
   /// Sets every element to `value`.
   void fill(double value);
 
-  /// Element-wise in-place map.
-  void apply(const std::function<double(double)>& f);
+  /// Element-wise in-place map. Takes the callable as a template so hot
+  /// paths (activations) inline it instead of paying a type-erased call
+  /// per element; pass a std::function explicitly if erasure is needed.
+  template <typename F>
+  void apply(F&& f) {
+    for (double& x : data_) x = f(x);
+  }
 
   /// this += alpha * other. Shapes must match.
   void add_scaled(const Matrix& other, double alpha);
@@ -72,6 +76,12 @@ class Matrix {
   std::size_t cols_ = 0;
   std::vector<double> data_;
 };
+
+// The GEMM variants below are cache-blocked and parallelized over row
+// bands of the output via esm::parallel_for (common/parallel.hpp). Each
+// output element accumulates its k-products in ascending-k order no matter
+// the tiling or thread count, so results are bit-identical at any
+// ESM_THREADS setting (and to the historical serial kernels).
 
 /// out = a * b. Shapes: (m x k) * (k x n) -> (m x n). `out` is resized.
 void gemm(const Matrix& a, const Matrix& b, Matrix& out);

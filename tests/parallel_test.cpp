@@ -1,0 +1,272 @@
+// Tests for the deterministic parallel execution layer: pool lifecycle,
+// exception propagation, grain edge cases, nested-call safety, RNG
+// substreams, thread-count invariance of the parallel kernels, and the
+// load-bearing contract — a seeded end-to-end ESM run is bit-identical at
+// 1 and 8 threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "esm/framework.hpp"
+#include "linalg/matrix.hpp"
+#include "ml/tree.hpp"
+#include "nets/builder.hpp"
+#include "nets/sampler.hpp"
+
+namespace esm {
+namespace {
+
+/// Every test restores the serial default so suites stay order-independent.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_thread_count(1); }
+};
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Matrix m(rows, cols);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng.normal();
+  }
+  return m;
+}
+
+bool bit_equal(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+// ------------------------------------------------------------- pool basics
+
+TEST_F(ParallelTest, ThreadCountOverrideAndClear) {
+  set_thread_count(4);
+  EXPECT_EQ(thread_count(), 4);
+  set_thread_count(0);  // back to the environment (unset in tests -> 1)
+  EXPECT_GE(thread_count(), 1);
+}
+
+TEST_F(ParallelTest, CoversAllIndicesExactlyOnce) {
+  set_thread_count(8);
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(7, kN, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_F(ParallelTest, PoolStartsAndShutsDown) {
+  set_thread_count(4);
+  parallel_for(1, 64, [](std::size_t, std::size_t) {});
+  EXPECT_EQ(pool_workers(), 3);  // the caller is the fourth participant
+  shutdown_pool();
+  EXPECT_EQ(pool_workers(), 0);
+  // Restarts lazily, including at a different size.
+  set_thread_count(2);
+  parallel_for(1, 64, [](std::size_t, std::size_t) {});
+  EXPECT_EQ(pool_workers(), 1);
+}
+
+TEST_F(ParallelTest, GrainEdgeCases) {
+  set_thread_count(4);
+  // n == 0: fn never runs.
+  bool ran = false;
+  parallel_for(8, 0, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  // grain == 0 is treated as 1.
+  std::atomic<std::size_t> count{0};
+  parallel_for(0, 5, [&](std::size_t begin, std::size_t end) {
+    count += end - begin;
+  });
+  EXPECT_EQ(count.load(), 5u);
+  // grain >= n: one serial chunk spanning [0, n).
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for(100, 10, [&](std::size_t begin, std::size_t end) {
+    chunks.emplace_back(begin, end);
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (std::pair<std::size_t, std::size_t>{0, 10}));
+}
+
+TEST_F(ParallelTest, ExceptionPropagatesAndPoolSurvives) {
+  set_thread_count(4);
+  EXPECT_THROW(
+      parallel_for(1, 100,
+                   [](std::size_t begin, std::size_t) {
+                     if (begin == 37) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // The pool must remain usable after a failed region.
+  std::atomic<std::size_t> count{0};
+  parallel_for(1, 100, [&](std::size_t begin, std::size_t end) {
+    count += end - begin;
+  });
+  EXPECT_EQ(count.load(), 100u);
+}
+
+TEST_F(ParallelTest, NestedCallsRunInline) {
+  set_thread_count(4);
+  EXPECT_FALSE(in_parallel_region());
+  std::atomic<std::size_t> inner_total{0};
+  std::atomic<bool> saw_region_flag{false};
+  parallel_for(1, 8, [&](std::size_t, std::size_t) {
+    if (in_parallel_region()) saw_region_flag = true;
+    // Nested region: must run inline (no deadlock) and still cover [0, n).
+    parallel_for(1, 16, [&](std::size_t begin, std::size_t end) {
+      inner_total += end - begin;
+    });
+  });
+  EXPECT_TRUE(saw_region_flag.load());
+  EXPECT_EQ(inner_total.load(), 8u * 16u);
+  EXPECT_FALSE(in_parallel_region());
+}
+
+TEST_F(ParallelTest, ParallelMapPreservesOrder) {
+  set_thread_count(8);
+  const auto out =
+      parallel_map(1000, [](std::size_t i) { return i * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], i * i);
+  }
+}
+
+// -------------------------------------------------------- RNG substreams
+
+TEST_F(ParallelTest, RngSplitStreamsAreStableAndIndependent) {
+  const Rng parent(123);
+  Rng a1 = parent.split(0), a2 = parent.split(0), b = parent.split(1);
+  // Same id -> same stream; different id -> different stream.
+  EXPECT_EQ(a1(), a2());
+  Rng a3 = parent.split(0);
+  EXPECT_NE(a3(), b());
+  // Substream derivation must not advance the parent.
+  Rng p1(123), p2(123);
+  (void)p1.split(7);
+  EXPECT_EQ(p1(), p2());
+}
+
+// --------------------------------------- thread-count invariant kernels
+
+TEST_F(ParallelTest, GemmVariantsAreThreadCountInvariant) {
+  const Matrix a = random_matrix(93, 71, 1);
+  const Matrix b = random_matrix(71, 57, 2);
+  const Matrix c = random_matrix(93, 57, 3);
+  const Matrix v = random_matrix(1, 71, 4);
+  Matrix ab_serial, atb_serial, abt_serial;
+  set_thread_count(1);
+  gemm(a, b, ab_serial);
+  gemm_at_b(a, c, atb_serial);   // (93x71)^T x (93x57)
+  gemm_a_bt(a, b.transposed(), abt_serial);
+  const std::vector<double> mv_serial = matvec(a, v.row(0));
+
+  set_thread_count(8);
+  Matrix ab, atb, abt;
+  gemm(a, b, ab);
+  gemm_at_b(a, c, atb);
+  gemm_a_bt(a, b.transposed(), abt);
+  const std::vector<double> mv = matvec(a, v.row(0));
+
+  EXPECT_TRUE(bit_equal(ab_serial, ab));
+  EXPECT_TRUE(bit_equal(atb_serial, atb));
+  EXPECT_TRUE(bit_equal(abt_serial, abt));
+  EXPECT_EQ(mv_serial, mv);
+}
+
+TEST_F(ParallelTest, TreeSplitScanIsThreadCountInvariant) {
+  const Matrix x = random_matrix(400, 12, 5);
+  std::vector<double> y(x.rows());
+  Rng rng(6);
+  for (double& v : y) v = rng.normal();
+
+  TreeConfig cfg;
+  cfg.max_depth = 6;
+  set_thread_count(1);
+  DecisionTreeRegressor serial_tree(cfg);
+  serial_tree.fit(x, y);
+  set_thread_count(8);
+  DecisionTreeRegressor threaded_tree(cfg);
+  threaded_tree.fit(x, y);
+
+  const Matrix probe = random_matrix(100, 12, 7);
+  EXPECT_EQ(serial_tree.predict(probe), threaded_tree.predict(probe));
+  EXPECT_EQ(serial_tree.depth(), threaded_tree.depth());
+}
+
+// ------------------------------------------- end-to-end determinism (ESM)
+
+EsmConfig tiny_config() {
+  EsmConfig cfg;
+  cfg.spec = resnet_spec();
+  cfg.n_initial = 40;
+  cfg.n_step = 20;
+  cfg.n_bins = 5;
+  cfg.n_test = 40;
+  cfg.acc_threshold = 0.9;
+  cfg.max_iterations = 2;
+  cfg.n_reference_models = 4;
+  cfg.train.epochs = 30;
+  cfg.train.batch_size = 32;
+  cfg.seed = 77;
+  return cfg;
+}
+
+EsmResult run_with_threads(int threads) {
+  EsmConfig cfg = tiny_config();
+  cfg.threads = threads;
+  SimulatedDevice device(rtx4090_spec(), 31);
+  return EsmFramework(cfg, device).run();
+}
+
+TEST_F(ParallelTest, SeededRunIsBitIdenticalAcrossThreadCounts) {
+  const EsmResult serial = run_with_threads(1);
+  const EsmResult threaded = run_with_threads(8);
+
+  // Datasets: identical architectures and bit-identical latencies.
+  ASSERT_EQ(serial.train_set.size(), threaded.train_set.size());
+  for (std::size_t i = 0; i < serial.train_set.size(); ++i) {
+    EXPECT_EQ(serial.train_set[i].arch, threaded.train_set[i].arch);
+    EXPECT_EQ(serial.train_set[i].latency_ms,
+              threaded.train_set[i].latency_ms);
+  }
+  ASSERT_EQ(serial.test_set.size(), threaded.test_set.size());
+  for (std::size_t i = 0; i < serial.test_set.size(); ++i) {
+    EXPECT_EQ(serial.test_set[i].latency_ms,
+              threaded.test_set[i].latency_ms);
+  }
+
+  // Eval reports: identical per-iteration accuracies.
+  ASSERT_EQ(serial.iterations.size(), threaded.iterations.size());
+  for (std::size_t i = 0; i < serial.iterations.size(); ++i) {
+    EXPECT_EQ(serial.iterations[i].eval.overall_accuracy,
+              threaded.iterations[i].eval.overall_accuracy);
+    EXPECT_EQ(serial.iterations[i].eval.min_bin_accuracy,
+              threaded.iterations[i].eval.min_bin_accuracy);
+    EXPECT_EQ(serial.iterations[i].passed, threaded.iterations[i].passed);
+  }
+  EXPECT_EQ(serial.converged, threaded.converged);
+
+  // Trained weights: identical predictions on fresh probes.
+  RandomSampler sampler(tiny_config().spec);
+  Rng rng(97);
+  for (const ArchConfig& arch : sampler.sample_n(20, rng)) {
+    EXPECT_EQ(serial.predictor->predict_ms(arch),
+              threaded.predictor->predict_ms(arch));
+  }
+
+  // Ordered cost reduction: simulated measurement cost matches too.
+  EXPECT_EQ(serial.total_measurement_seconds,
+            threaded.total_measurement_seconds);
+}
+
+}  // namespace
+}  // namespace esm
