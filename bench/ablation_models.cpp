@@ -1,26 +1,28 @@
-// Ablation B: surrogate model families on FCC-encoded data — the paper's
-// related work uses linear regression, decision trees, and boosted trees as
-// predictors; this bench compares them against the paper's MLP on the same
-// encoded dataset (ResNet / simulated RTX 4090).
+// Ablation B: surrogate model families — the paper's related work uses
+// linear regression, decision trees, and boosted trees as predictors; this
+// bench compares every kind registered in the SurrogateRegistry (trained
+// through the same TrainableSurrogate interface the ESM loop uses) against
+// unregistered baselines on the same dataset (ResNet / simulated RTX 4090).
 #include <iostream>
 
 #include "bench_util.hpp"
 #include "common/stats.hpp"
 #include "common/strings.hpp"
-#include "ml/gbdt.hpp"
 #include "ml/linreg.hpp"
 #include "ml/metrics.hpp"
 #include "ml/tree.hpp"
 #include "surrogate/gcn_surrogate.hpp"
+#include "surrogate/registry.hpp"
 
 using namespace esm;
 using namespace esm::bench;
 
 int main(int argc, char** argv) {
-  ArgParser args("Ablation: surrogate model families on FCC encodings");
+  ArgParser args("Ablation: surrogate model families on a shared dataset");
   args.add_int("train", 6000, "training-set size");
   args.add_int("test", 1500, "test-set size");
   args.add_int("epochs", 150, "MLP training epochs");
+  args.add_int("ensemble-members", 3, "ensemble width");
   args.add_int("seed", 23, "experiment seed");
   if (!args.parse(argc, argv)) return 0;
 
@@ -39,12 +41,7 @@ int main(int argc, char** argv) {
     else train.add(s);
   }
 
-  // Shared FCC features.
-  auto encoder = make_encoder(EncodingKind::kFcc, spec);
-  const Matrix x_train = encoder->encode_all(train.archs);
-  const Matrix x_test = encoder->encode_all(test.archs);
-
-  print_banner(std::cout, "Model-family ablation on FCC features "
+  print_banner(std::cout, "Model-family ablation "
                           "(ResNet / simulated RTX 4090, train " +
                               std::to_string(train.size()) + ")");
   TablePrinter table({"Model", "accuracy", "RMSE (ms)", "Kendall tau"});
@@ -56,14 +53,27 @@ int main(int argc, char** argv) {
                    format_double(kendall_tau(pred, test.latencies_ms), 3)});
   };
 
-  {
-    const SurrogateResult mlp = run_mlp_experiment(
-        EncodingKind::kFcc, spec, train, test, seed + 6,
-        static_cast<int>(args.get_int("epochs")));
-    table.add_row({"MLP 3x64 (paper)", format_percent(mlp.accuracy, 1),
-                   format_double(mlp.rmse_ms, 3),
-                   format_double(mlp.kendall, 3)});
+  // Every registered surrogate kind, built and trained exactly the way the
+  // ESM loop does it (FCC encoding where the kind encodes).
+  SurrogateContext context;
+  context.spec = spec;
+  context.encoder = "fcc";
+  context.train = paper_train_config(static_cast<int>(args.get_int("epochs")));
+  context.seed = seed + 6;
+  context.device = &device;
+  context.ensemble_members =
+      static_cast<std::size_t>(args.get_int("ensemble-members"));
+  for (const std::string& key : SurrogateRegistry::instance().keys()) {
+    const auto surrogate = SurrogateRegistry::instance().create(key, context);
+    surrogate->fit(SurrogateDataset{train.archs, train.latencies_ms});
+    add_row(surrogate->name() + " [" + key + "]",
+            surrogate->predict_all(test.archs));
   }
+
+  // Unregistered baselines on the same shared FCC features.
+  auto encoder = make_encoder(EncodingKind::kFcc, spec);
+  const Matrix x_train = encoder->encode_all(train.archs);
+  const Matrix x_test = encoder->encode_all(test.archs);
   {
     LinearRegression reg;
     reg.fit(x_train, train.latencies_ms);
@@ -81,15 +91,6 @@ int main(int argc, char** argv) {
     GcnSurrogate gcn(spec, {.hidden = 32, .epochs = 40, .seed = seed + 7});
     gcn.fit(train.archs, train.latencies_ms);
     add_row("GCN (2x32, chain graph)", gcn.predict_all(test.archs));
-  }
-  {
-    GradientBoostingRegressor gbdt(
-        {.n_estimators = 150,
-         .learning_rate = 0.1,
-         .tree = {.max_depth = 5, .min_samples_leaf = 4,
-                  .min_samples_split = 8}});
-    gbdt.fit(x_train, train.latencies_ms);
-    add_row("gradient boosting (150x d5)", gbdt.predict(x_test));
   }
   table.print(std::cout);
   std::cout << "FCC features carry most of the signal — notably, latency is "

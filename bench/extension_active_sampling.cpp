@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
         archs.push_back(s.arch);
         lats.push_back(s.latency_ms);
       }
-      EnsembleSurrogate ensemble(EncodingKind::kFcc, spec,
+      EnsembleSurrogate ensemble("fcc", spec,
                                  paper_train_config(epochs), members,
                                  seed + static_cast<std::uint64_t>(round));
       ensemble.fit(archs, lats);

@@ -42,7 +42,8 @@ int main(int argc, char** argv) {
 
   EsmConfig base;
   base.spec = resnet_spec();
-  base.encoding = EncodingKind::kFcc;
+  base.surrogate = "mlp";
+  base.encoder = "fcc";
   base.n_initial = static_cast<int>(args.get_int("n-initial"));
   base.n_step = static_cast<int>(args.get_int("n-step"));
   base.n_bins = static_cast<int>(args.get_int("n-bins"));

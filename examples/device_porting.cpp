@@ -27,7 +27,8 @@ int main(int argc, char** argv) {
   esm::EsmConfig config;
   config.spec = esm::resnet_spec();
   config.strategy = esm::SamplingStrategy::kBalanced;
-  config.encoding = esm::EncodingKind::kFcc;
+  config.surrogate = "mlp";
+  config.encoder = "fcc";
   config.n_initial = budget / 2;
   config.n_step = budget / 8;
   config.n_test = 300;

@@ -1,18 +1,28 @@
 // esm_cli — command-line front end for the ESM framework.
 //
-// Subcommands (first positional-free flag set selects the action):
-//   --build    build a predictor with the train-evaluate-extend loop and
-//              save it (--model PATH)
-//   --predict  load a saved predictor (--model PATH) and price N randomly
-//              sampled architectures
-//   --search   load a saved predictor and run latency-constrained
-//              evolutionary NAS under --budget-ms
+// Subcommands (first argument):
+//   train     build a surrogate with the train-evaluate-extend loop and
+//             save it as an artifact (-o/--model PATH). --surrogate and
+//             --encoder pick any registered kind ("mlp", "lut", "gbdt",
+//             "ensemble" x "onehot", "feature", "stat", "fc", "fcc").
+//   predict   load an artifact (positional PATH or --model) and price
+//             sampled architectures. The printed predictions are
+//             bit-identical to the verification block `train` printed for
+//             the same --seed/--count, across processes.
+//   eval      load an artifact and score it bin-wise against freshly
+//             measured latencies on a simulated device.
+//   search    load an artifact and run latency-constrained evolutionary
+//             NAS under --budget-ms.
 //
 // Examples:
-//   esm_cli --build --supernet resnet --device rtx4090 --model /tmp/m.txt
-//   esm_cli --predict --model /tmp/m.txt --count 10
-//   esm_cli --search --model /tmp/m.txt --device rtx4090 --budget-ms 3.5
+//   esm_cli train --surrogate gbdt --encoder fcc -o /tmp/m.esm
+//   esm_cli predict /tmp/m.esm --count 10
+//   esm_cli eval /tmp/m.esm --device rtx4090
+//   esm_cli search /tmp/m.esm --budget-ms 3.5
+#include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "common/argparse.hpp"
 #include "common/strings.hpp"
@@ -21,10 +31,46 @@
 #include "nas/accuracy_proxy.hpp"
 #include "nas/search.hpp"
 #include "nets/builder.hpp"
+#include "surrogate/registry.hpp"
 
 namespace {
 
-int run_build(const esm::ArgParser& args) {
+std::string format_full(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Samples `count` architectures with the shared verification stream so
+/// `train` and `predict` price the same models in different processes.
+std::vector<esm::ArchConfig> verification_archs(const esm::SupernetSpec& spec,
+                                                std::uint64_t seed,
+                                                std::size_t count) {
+  esm::Rng rng(seed ^ 0x7e57a5c5ull);
+  esm::RandomSampler sampler(spec);
+  return sampler.sample_n(count, rng);
+}
+
+/// Prints full-precision predictions for the verification architectures.
+void print_predictions(const esm::LatencyPredictor& predictor,
+                       const esm::SupernetSpec& spec, std::uint64_t seed,
+                       std::size_t count) {
+  const std::vector<esm::ArchConfig> archs =
+      verification_archs(spec, seed, count);
+  const std::vector<double> predicted = predictor.predict_all(archs);
+  esm::TablePrinter table(
+      {"architecture (depths)", "blocks", "predicted latency (ms)"});
+  for (std::size_t i = 0; i < archs.size(); ++i) {
+    std::vector<std::string> depths;
+    for (int d : archs[i].depths()) depths.push_back(std::to_string(d));
+    table.add_row({"[" + esm::join(depths, ",") + "]",
+                   std::to_string(archs[i].total_blocks()),
+                   format_full(predicted[i])});
+  }
+  table.print(std::cout);
+}
+
+int run_train(const esm::ArgParser& args) {
   const esm::DeviceSpec device_spec =
       esm::device_by_name(args.get_string("device"));
   esm::SimulatedDevice device(device_spec,
@@ -34,7 +80,10 @@ int run_build(const esm::ArgParser& args) {
   config.spec = esm::spec_by_name(args.get_string("supernet"));
   config.strategy =
       esm::sampling_strategy_from_name(args.get_string("strategy"));
-  config.encoding = esm::encoding_kind_from_name(args.get_string("encoding"));
+  config.surrogate = args.get_string("surrogate");
+  config.encoder = args.get_string("encoder");
+  config.ensemble_members =
+      static_cast<std::size_t>(args.get_int("ensemble-members"));
   config.n_initial = static_cast<int>(args.get_int("n-initial"));
   config.n_step = static_cast<int>(args.get_int("n-step"));
   config.n_bins = static_cast<int>(args.get_int("n-bins"));
@@ -42,10 +91,11 @@ int run_build(const esm::ArgParser& args) {
   config.max_iterations = static_cast<int>(args.get_int("max-iters"));
   config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
 
-  std::cout << "Building " << config.spec.name << " predictor ("
-            << esm::encoding_kind_name(config.encoding) << " encoding, "
+  std::cout << "Training a '" << config.surrogate << "' surrogate ("
+            << config.encoder << " encoding, "
             << esm::sampling_strategy_name(config.strategy)
-            << " sampling) on " << device_spec.name << "...\n";
+            << " sampling) for " << config.spec.name << " on "
+            << device_spec.name << "...\n";
   const esm::EsmResult result = esm::EsmFramework(config, device).run();
   const esm::IterationReport& last = result.iterations.back();
   std::cout << (result.converged ? "Converged" : "Budget exhausted")
@@ -56,39 +106,90 @@ int run_build(const esm::ArgParser& args) {
             << ", worst bin "
             << esm::format_percent(last.eval.min_bin_accuracy) << ".\n";
 
+  // Verification block BEFORE saving: pricing these architectures also
+  // fills any lazily profiled state (the LUT memo table), so the artifact
+  // reproduces exactly these numbers in a fresh process.
+  std::cout << "Verification predictions (reproduce with `esm_cli predict "
+            << "--seed " << args.get_int("seed") << " --count "
+            << args.get_int("count") << "`):\n";
+  print_predictions(*result.predictor, config.spec, config.seed,
+                    static_cast<std::size_t>(args.get_int("count")));
+
   const std::string path = args.get_string("model");
-  result.predictor->save(path);
-  std::cout << "Saved predictor to " << path << "\n";
+  esm::save_surrogate(*result.predictor, path);
+  std::cout << "Saved " << result.predictor->kind() << " artifact to " << path
+            << "\n";
   return result.converged ? 0 : 2;
 }
 
 int run_predict(const esm::ArgParser& args) {
-  const esm::MlpSurrogate predictor =
-      esm::MlpSurrogate::load(args.get_string("model"));
-  const esm::SupernetSpec& spec = predictor.encoder().spec();
-  std::cout << "Loaded " << predictor.name() << " for the " << spec.name
-            << " space.\n";
-
-  esm::Rng rng(static_cast<std::uint64_t>(args.get_int("seed")));
-  esm::RandomSampler sampler(spec);
-  esm::TablePrinter table({"architecture (depths)", "blocks",
-                           "predicted latency (ms)"});
-  for (long long i = 0; i < args.get_int("count"); ++i) {
-    const esm::ArchConfig arch = sampler.sample(rng);
-    std::vector<std::string> depths;
-    for (int d : arch.depths()) depths.push_back(std::to_string(d));
-    table.add_row({"[" + esm::join(depths, ",") + "]",
-                   std::to_string(arch.total_blocks()),
-                   esm::format_double(predictor.predict_ms(arch), 3)});
-  }
-  table.print(std::cout);
+  const std::unique_ptr<esm::TrainableSurrogate> predictor =
+      esm::load_surrogate(args.get_string("model"));
+  const esm::SupernetSpec& spec = predictor->spec();
+  std::cout << "Loaded " << predictor->name() << " (kind '"
+            << predictor->kind() << "', encoder '" << predictor->encoder_key()
+            << "') for the " << spec.name << " space.\n";
+  print_predictions(*predictor, spec,
+                    static_cast<std::uint64_t>(args.get_int("seed")),
+                    static_cast<std::size_t>(args.get_int("count")));
   return 0;
 }
 
+int run_eval(const esm::ArgParser& args) {
+  const std::unique_ptr<esm::TrainableSurrogate> predictor =
+      esm::load_surrogate(args.get_string("model"));
+  const esm::SupernetSpec& spec = predictor->spec();
+  const esm::DeviceSpec device_spec =
+      esm::device_by_name(args.get_string("device"));
+  esm::SimulatedDevice device(device_spec,
+                              static_cast<std::uint64_t>(args.get_int("seed")));
+
+  // Balanced so every depth bin is represented, like the framework's own
+  // held-out set; measured fresh so the score reflects this device.
+  esm::EsmConfig config;
+  config.spec = spec;
+  config.surrogate = predictor->kind();
+  config.n_bins = static_cast<int>(args.get_int("n-bins"));
+  config.n_test = static_cast<int>(args.get_int("count"));
+  config.acc_threshold = args.get_double("acc-th");
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  config.validate();
+
+  esm::Rng rng(config.seed);
+  esm::DatasetGenerator generator(config, device, rng.split());
+  esm::BalancedSampler sampler(spec, config.n_bins);
+  esm::Rng sample_rng = rng.split();
+  const std::vector<esm::ArchConfig> archs = sampler.sample_n(
+      static_cast<std::size_t>(config.n_test), sample_rng);
+  const std::vector<esm::MeasuredSample> test_set =
+      generator.measure_batch(archs);
+
+  const esm::BinwiseEvaluator evaluator(spec, config.n_bins,
+                                        config.acc_threshold);
+  const esm::EvalReport report = evaluator.evaluate(*predictor, test_set);
+
+  std::cout << "Evaluated " << predictor->name() << " on " << test_set.size()
+            << " freshly measured " << spec.name << " samples ("
+            << device_spec.name << ").\n";
+  esm::TablePrinter table({"bin", "blocks", "samples", "accuracy", "pass"});
+  for (const esm::BinAccuracy& bin : report.bins) {
+    table.add_row({std::to_string(bin.bin), bin.label,
+                   std::to_string(bin.count),
+                   esm::format_percent(bin.accuracy),
+                   bin.below_threshold ? "no" : "yes"});
+  }
+  table.print(std::cout);
+  std::cout << "Overall " << esm::format_percent(report.overall_accuracy)
+            << ", worst bin " << esm::format_percent(report.min_bin_accuracy)
+            << " (threshold " << esm::format_percent(config.acc_threshold)
+            << ").\n";
+  return report.min_bin_accuracy >= config.acc_threshold ? 0 : 2;
+}
+
 int run_search(const esm::ArgParser& args) {
-  const esm::MlpSurrogate predictor =
-      esm::MlpSurrogate::load(args.get_string("model"));
-  const esm::SupernetSpec& spec = predictor.encoder().spec();
+  const std::unique_ptr<esm::TrainableSurrogate> predictor =
+      esm::load_surrogate(args.get_string("model"));
+  const esm::SupernetSpec& spec = predictor->spec();
   const double budget = args.get_double("budget-ms");
 
   esm::SearchConfig search_config;
@@ -99,7 +200,7 @@ int run_search(const esm::ArgParser& args) {
   search_config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
   esm::EvolutionarySearch search(spec, search_config);
   const esm::AccuracyProxy proxy(spec);
-  const esm::SearchResult found = search.run(predictor, proxy);
+  const esm::SearchResult found = search.run(*predictor, proxy);
 
   std::cout << "Searched the " << spec.name << " space under "
             << esm::format_double(budget, 3) << " ms (evaluated "
@@ -128,38 +229,82 @@ int run_search(const esm::ArgParser& args) {
   return 0;
 }
 
+/// Rewrites `subcommand [args...]` into plain flags the parser accepts:
+/// the subcommand selects the action, "-o" is shorthand for "--model", and
+/// a bare path positional becomes the --model value.
+std::vector<const char*> normalize_args(int argc, char** argv,
+                                        std::string& subcommand,
+                                        std::vector<std::string>& storage) {
+  int start = 1;
+  if (argc > 1 && argv[1][0] != '-') {
+    subcommand = argv[1];
+    start = 2;
+  }
+  storage.clear();
+  bool prev_expects_value = false;
+  for (int i = start; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o") {
+      storage.push_back("--model");
+      prev_expects_value = true;
+    } else if (!arg.empty() && arg[0] != '-' && !prev_expects_value) {
+      // A free-standing token is the artifact path ("predict model.esm").
+      storage.push_back("--model=" + arg);
+    } else {
+      storage.push_back(arg);
+      // "--name value" form: the next token belongs to this flag.
+      prev_expects_value =
+          arg.size() > 2 && arg[0] == '-' && arg.find('=') == std::string::npos;
+    }
+  }
+  std::vector<const char*> out;
+  out.push_back(argv[0]);
+  for (const std::string& s : storage) out.push_back(s.c_str());
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  esm::ArgParser args("esm_cli: build, query, and search with ESM latency "
-                      "predictors.");
-  args.add_bool("build", "build a predictor and save it to --model");
-  args.add_bool("predict", "load --model and price random architectures");
-  args.add_bool("search", "load --model and run NAS under --budget-ms");
-  args.add_string("model", "/tmp/esm_model.txt", "predictor archive path");
-  args.add_string("supernet", "resnet", "space (build): resnet|mobilenetv3|densenet");
+  esm::ArgParser args(
+      "esm_cli <train|predict|eval|search>: train, query, score, and search "
+      "with ESM surrogate artifacts.");
+  args.add_string("model", "/tmp/esm_model.esm", "surrogate artifact path");
+  args.add_string("surrogate", "mlp",
+                  "surrogate (train): mlp|lut|gbdt|ensemble");
+  args.add_string("encoder", "fcc",
+                  "encoder (train): onehot|feature|stat|fc|fcc");
+  args.add_int("ensemble-members", 4, "ensemble width (train)");
+  args.add_string("supernet", "resnet",
+                  "space (train): resnet|mobilenetv3|densenet");
   args.add_string("device", "rtx4090",
-                  "device (build/search verification): rtx4090|rtx3080maxq|"
-                  "threadripper|rpi4");
-  args.add_string("strategy", "balanced", "sampling (build): random|balanced");
-  args.add_string("encoding", "fcc",
-                  "encoding (build): one-hot|feature|statistical|fc|fcc");
-  args.add_int("n-initial", 300, "N_I (build)");
-  args.add_int("n-step", 100, "N_Step (build)");
-  args.add_int("n-bins", 5, "N_Bins (build)");
-  args.add_double("acc-th", 0.95, "Acc_TH (build)");
-  args.add_int("max-iters", 20, "iteration budget (build)");
-  args.add_int("count", 10, "architectures to price (predict)");
+                  "device (train/eval/search verification): rtx4090|"
+                  "rtx3080maxq|threadripper|rpi4");
+  args.add_string("strategy", "balanced", "sampling (train): random|balanced");
+  args.add_int("n-initial", 300, "N_I (train)");
+  args.add_int("n-step", 100, "N_Step (train)");
+  args.add_int("n-bins", 5, "N_Bins (train/eval)");
+  args.add_double("acc-th", 0.95, "Acc_TH (train/eval)");
+  args.add_int("max-iters", 20, "iteration budget (train)");
+  args.add_int("count", 10, "architectures to price (train/predict/eval)");
   args.add_double("budget-ms", 3.0, "latency budget (search)");
   args.add_int("seed", 42, "seed");
-  if (!args.parse(argc, argv)) return 0;
+
+  std::string subcommand;
+  std::vector<std::string> storage;
+  const std::vector<const char*> rewritten =
+      normalize_args(argc, argv, subcommand, storage);
+  if (!args.parse(static_cast<int>(rewritten.size()), rewritten.data())) {
+    return 0;
+  }
 
   try {
-    if (args.get_bool("build")) return run_build(args);
-    if (args.get_bool("predict")) return run_predict(args);
-    if (args.get_bool("search")) return run_search(args);
+    if (subcommand == "train") return run_train(args);
+    if (subcommand == "predict") return run_predict(args);
+    if (subcommand == "eval") return run_eval(args);
+    if (subcommand == "search") return run_search(args);
     std::fputs(args.usage().c_str(), stdout);
-    std::fputs("\nPick one of --build, --predict, --search.\n", stdout);
+    std::fputs("\nPick one of: train, predict, eval, search.\n", stdout);
     return 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -36,7 +36,8 @@ int main(int argc, char** argv) {
   esm::EsmConfig config;
   config.spec = esm::mobilenet_v3_spec();
   config.strategy = esm::SamplingStrategy::kBalanced;
-  config.encoding = esm::EncodingKind::kFcc;
+  config.surrogate = "mlp";
+  config.encoder = "fcc";
   config.n_initial = 400;
   config.n_step = 100;
   config.acc_threshold = 0.95;

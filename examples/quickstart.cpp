@@ -11,6 +11,7 @@
 #include "esm/framework.hpp"
 #include "hwsim/device.hpp"
 #include "nets/sampler.hpp"
+#include "surrogate/registry.hpp"
 
 int main(int argc, char** argv) {
   esm::ArgParser args(
@@ -33,7 +34,8 @@ int main(int argc, char** argv) {
   esm::EsmConfig config;
   config.spec = esm::spec_by_name(args.get_string("supernet"));
   config.strategy = esm::SamplingStrategy::kBalanced;
-  config.encoding = esm::EncodingKind::kFcc;
+  config.surrogate = "mlp";
+  config.encoder = "fcc";
   config.n_initial = 300;
   config.n_step = 100;
   config.n_bins = 5;
@@ -63,9 +65,10 @@ int main(int argc, char** argv) {
             << esm::format_double(result.total_train_seconds, 2) << " s\n\n";
 
   // 4. Persist the predictor and restore it (what a NAS tool would ship).
-  const std::string model_path = "/tmp/esm_quickstart_predictor.txt";
-  result.predictor->save(model_path);
-  const esm::MlpSurrogate restored = esm::MlpSurrogate::load(model_path);
+  const std::string model_path = "/tmp/esm_quickstart_predictor.esm";
+  esm::save_surrogate(*result.predictor, model_path);
+  const std::unique_ptr<esm::TrainableSurrogate> restored =
+      esm::load_surrogate(model_path);
   std::cout << "Predictor saved to and restored from " << model_path
             << ".\n\n";
 
@@ -75,7 +78,7 @@ int main(int argc, char** argv) {
   std::cout << "Sample predictions vs. ground truth:\n";
   for (int i = 0; i < 5; ++i) {
     const esm::ArchConfig arch = sampler.sample(rng);
-    const double predicted = restored.predict_ms(arch);
+    const double predicted = restored->predict_ms(arch);
     const double actual =
         device.true_latency_ms(esm::build_graph(config.spec, arch));
     std::cout << "  " << arch.total_blocks() << " blocks: predicted "

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Tiered CI for the ESM reproduction.
+#
+#   scripts/ci.sh         fast tier: build + sub-minute `ctest -L fast`
+#   scripts/ci.sh full    fast tier, then the remaining (slow) suites, then
+#                         an ASan build running the surrogate + esm suites
+#
+# Thread-count invariance is covered inside the suites themselves
+# (parallel_test pins 1-thread vs 8-thread bit-identity), so CI only needs
+# to run them once.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TIER="${1:-fast}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== build (Release) =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "== fast tier (ctest -L fast) =="
+ctest --test-dir build -L fast --output-on-failure
+
+if [ "$TIER" = "fast" ]; then
+  echo "CI fast tier passed."
+  exit 0
+fi
+
+echo "== slow tier (remaining suites) =="
+ctest --test-dir build -LE fast --output-on-failure
+
+echo "== asan tier (surrogate + esm suites) =="
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DESM_SANITIZE=address >/dev/null
+cmake --build build-asan -j "$JOBS" \
+  --target surrogate_test surrogate_registry_test esm_test
+ctest --test-dir build-asan --output-on-failure \
+  -R '^(surrogate_test|surrogate_registry_test|esm_test)$'
+
+echo "CI full tier passed."

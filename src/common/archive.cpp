@@ -1,6 +1,8 @@
 #include "common/archive.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -9,7 +11,8 @@
 namespace esm {
 namespace {
 
-constexpr const char* kMagic = "esm-archive v1";
+constexpr const char* kMagicPrefix = "esm-archive v";
+constexpr long long kFormatVersion = 1;
 
 std::string format_value(double v) {
   char buf[40];
@@ -55,9 +58,23 @@ void ArchiveWriter::put_doubles(const std::string& key,
   entries_.emplace_back(key, os.str());
 }
 
+void ArchiveWriter::put_strings(const std::string& key,
+                                const std::vector<std::string>& values) {
+  ESM_REQUIRE(valid_key(key), "invalid archive key: '" << key << "'");
+  std::ostringstream os;
+  os << values.size();
+  for (const std::string& v : values) {
+    ESM_REQUIRE(valid_key(v),
+                "archive string values must be whitespace-free: '" << v
+                                                                   << "'");
+    os << ' ' << v;
+  }
+  entries_.emplace_back(key, os.str());
+}
+
 std::string ArchiveWriter::to_string() const {
   std::ostringstream os;
-  os << kMagic << '\n';
+  os << kMagicPrefix << kFormatVersion << '\n';
   for (const auto& [key, payload] : entries_) {
     os << key << ' ' << payload << '\n';
   }
@@ -75,8 +92,18 @@ ArchiveReader ArchiveReader::from_string(const std::string& content) {
   std::istringstream in(content);
   std::string header;
   std::getline(in, header);
-  ESM_REQUIRE(header == kMagic,
+  if (!header.empty() && header.back() == '\r') header.pop_back();
+  ESM_REQUIRE(header.rfind(kMagicPrefix, 0) == 0,
               "not an ESM archive (bad header: '" << header << "')");
+  const std::string version_text = header.substr(std::strlen(kMagicPrefix));
+  char* end = nullptr;
+  const long long version = std::strtoll(version_text.c_str(), &end, 10);
+  ESM_REQUIRE(end != nullptr && *end == '\0' && !version_text.empty(),
+              "not an ESM archive (bad header: '" << header << "')");
+  ESM_REQUIRE(version == kFormatVersion,
+              "unsupported archive format version v"
+                  << version << " (this build reads v" << kFormatVersion
+                  << ")");
   ArchiveReader reader;
   std::string line;
   int line_no = 1;
@@ -139,6 +166,13 @@ long long ArchiveReader::get_int(const std::string& key) const {
   ESM_REQUIRE(end != nullptr && *end == '\0',
               "archive key '" << key << "' is not an integer: " << raw);
   return v;
+}
+
+std::vector<std::string> ArchiveReader::get_strings(
+    const std::string& key) const {
+  const auto it = entries_.find(key);
+  ESM_REQUIRE(it != entries_.end(), "archive key missing: '" << key << "'");
+  return it->second;
 }
 
 std::vector<double> ArchiveReader::get_doubles(const std::string& key) const {

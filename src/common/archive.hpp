@@ -3,9 +3,15 @@
 // Text format, one entry per line:
 //   esm-archive v1
 //   <key> <count> <v0> <v1> ...
-// Keys are written/read in any order; vectors of doubles, scalars, and
-// strings (whitespace-free tokens) are supported. Used to save and load
-// trained surrogates (MLP weights, standardizers, encoder/spec identity).
+// Keys are written/read in any order; vectors of doubles, vectors of
+// whitespace-free strings, scalars, and single strings are supported. Used
+// to save and load trained surrogates (MLP weights, GBDT stages, LUT
+// tables, standardizers, encoder/spec identity).
+//
+// The header line carries the container format version. Readers reject
+// duplicate keys and any version other than the one this build writes, each
+// with a distinct esm::ConfigError (a garbled header is reported as "not an
+// ESM archive", a newer version as "unsupported format version").
 #pragma once
 
 #include <cstdint>
@@ -22,6 +28,9 @@ class ArchiveWriter {
   void put_double(const std::string& key, double value);
   void put_int(const std::string& key, long long value);
   void put_doubles(const std::string& key, const std::vector<double>& values);
+  /// Every element must be a non-empty whitespace-free token.
+  void put_strings(const std::string& key,
+                   const std::vector<std::string>& values);
 
   /// Writes the archive; throws esm::ConfigError on I/O failure.
   void save(const std::string& path) const;
@@ -49,6 +58,7 @@ class ArchiveReader {
   double get_double(const std::string& key) const;
   long long get_int(const std::string& key) const;
   std::vector<double> get_doubles(const std::string& key) const;
+  std::vector<std::string> get_strings(const std::string& key) const;
 
  private:
   std::map<std::string, std::vector<std::string>> entries_;

@@ -1,0 +1,96 @@
+#include "encoding/registry.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "encoding/encoders.hpp"
+
+namespace esm {
+
+EncoderRegistry& EncoderRegistry::instance() {
+  // Built-ins are registered here, not via self-registering globals: this
+  // library links statically, and unreferenced registration TUs would be
+  // dead-stripped.
+  static EncoderRegistry* registry = [] {
+    auto* r = new EncoderRegistry();
+    r->add("onehot", [](const SupernetSpec& spec) {
+      return std::make_unique<OneHotEncoder>(spec);
+    });
+    r->add("feature", [](const SupernetSpec& spec) {
+      return std::make_unique<FeatureEncoder>(spec);
+    });
+    r->add("stat", [](const SupernetSpec& spec) {
+      return std::make_unique<StatisticalEncoder>(spec);
+    });
+    r->add("fc", [](const SupernetSpec& spec) {
+      return std::make_unique<FeatureCountEncoder>(spec);
+    });
+    r->add("fcc", [](const SupernetSpec& spec) {
+      return std::make_unique<FccEncoder>(spec);
+    });
+    r->add_alias("one-hot", "onehot");
+    r->add_alias("statistical", "stat");
+    r->add_alias("feature-count", "fc");
+    r->add_alias("feature-combination-count", "fcc");
+    return r;
+  }();
+  return *registry;
+}
+
+void EncoderRegistry::add(const std::string& key, Factory factory) {
+  ESM_REQUIRE(!key.empty() && factory, "encoder registration needs key+factory");
+  ESM_REQUIRE(factories_.emplace(key, std::move(factory)).second,
+              "encoder key already registered: '" << key << "'");
+  order_.push_back(key);
+}
+
+void EncoderRegistry::add_alias(const std::string& alias,
+                                const std::string& key) {
+  ESM_REQUIRE(factories_.count(key) > 0,
+              "encoder alias '" << alias << "' targets unknown key '" << key
+                                << "'");
+  ESM_REQUIRE(factories_.count(alias) == 0 &&
+                  aliases_.emplace(alias, key).second,
+              "encoder alias already registered: '" << alias << "'");
+}
+
+bool EncoderRegistry::has(const std::string& key_or_alias) const {
+  const std::string lower = to_lower(key_or_alias);
+  return factories_.count(lower) > 0 || aliases_.count(lower) > 0;
+}
+
+std::string EncoderRegistry::canonical_key(
+    const std::string& key_or_alias) const {
+  const std::string lower = to_lower(key_or_alias);
+  if (factories_.count(lower) > 0) return lower;
+  const auto alias = aliases_.find(lower);
+  if (alias != aliases_.end()) return alias->second;
+  throw ConfigError("unknown encoder key '" + key_or_alias +
+                    "' (registered: " + join(keys(), ", ") + ")");
+}
+
+std::unique_ptr<Encoder> EncoderRegistry::create(
+    const std::string& key_or_alias, const SupernetSpec& spec) const {
+  return factories_.at(canonical_key(key_or_alias))(spec);
+}
+
+std::vector<std::string> EncoderRegistry::keys() const { return order_; }
+
+std::string encoder_registry_key(EncodingKind kind) {
+  switch (kind) {
+    case EncodingKind::kOneHot: return "onehot";
+    case EncodingKind::kFeature: return "feature";
+    case EncodingKind::kStatistical: return "stat";
+    case EncodingKind::kFeatureCount: return "fc";
+    case EncodingKind::kFcc: return "fcc";
+  }
+  throw ConfigError("unknown encoding kind");
+}
+
+std::unique_ptr<Encoder> make_encoder(const std::string& key,
+                                      const SupernetSpec& spec) {
+  return EncoderRegistry::instance().create(key, spec);
+}
+
+}  // namespace esm

@@ -1,0 +1,64 @@
+// Registry of architecture encoders keyed by short stable strings. The ESM
+// loop, the CLI, and the artifact format all select encoders by key instead
+// of hard-wiring EncodingKind, so new schemes plug in without touching the
+// framework (DESIGN.md "Registry & artifact architecture").
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "encoding/encoder.hpp"
+
+namespace esm {
+
+/// Maps string keys ("onehot", "feature", "stat", "fc", "fcc") to encoder
+/// factories. Lookups accept aliases ("one-hot", "statistical", ...) but
+/// keys() and canonical_key() always report the canonical short form, which
+/// is what artifacts store.
+class EncoderRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<Encoder>(const SupernetSpec& spec)>;
+
+  /// Process-wide registry with the five built-in schemes pre-registered.
+  static EncoderRegistry& instance();
+
+  /// Registers a factory under a canonical key; rejects duplicates.
+  void add(const std::string& key, Factory factory);
+
+  /// Registers an alternate spelling for an existing canonical key.
+  void add_alias(const std::string& alias, const std::string& key);
+
+  bool has(const std::string& key_or_alias) const;
+
+  /// Resolves an alias to its canonical key; throws ConfigError listing the
+  /// registered keys when the name is unknown.
+  std::string canonical_key(const std::string& key_or_alias) const;
+
+  /// Builds the encoder registered under `key_or_alias` for `spec`.
+  std::unique_ptr<Encoder> create(const std::string& key_or_alias,
+                                  const SupernetSpec& spec) const;
+
+  /// Canonical keys in registration order (baseline-first).
+  std::vector<std::string> keys() const;
+
+ private:
+  EncoderRegistry() = default;
+
+  std::vector<std::string> order_;
+  std::map<std::string, Factory> factories_;
+  std::map<std::string, std::string> aliases_;
+};
+
+/// Canonical registry key for a built-in EncodingKind (e.g. kOneHot ->
+/// "onehot"). Used when persisting artifacts.
+std::string encoder_registry_key(EncodingKind kind);
+
+/// Convenience: EncoderRegistry::instance().create(key, spec).
+std::unique_ptr<Encoder> make_encoder(const std::string& key,
+                                      const SupernetSpec& spec);
+
+}  // namespace esm

@@ -1,6 +1,9 @@
 #include "esm/config.hpp"
 
 #include "common/error.hpp"
+#include "common/strings.hpp"
+#include "encoding/registry.hpp"
+#include "surrogate/registry.hpp"
 
 namespace esm {
 
@@ -14,6 +17,17 @@ const char* eval_strategy_name(EvalStrategy s) {
 
 void EsmConfig::validate() const {
   ESM_REQUIRE(spec.num_units >= 1, "config: spec has no units");
+  ESM_REQUIRE(SurrogateRegistry::instance().has(surrogate),
+              "config: unknown surrogate '"
+                  << surrogate << "' (registered: "
+                  << join(SurrogateRegistry::instance().keys(), ", ")
+                  << ")");
+  ESM_REQUIRE(EncoderRegistry::instance().has(encoder),
+              "config: unknown encoder '"
+                  << encoder << "' (registered: "
+                  << join(EncoderRegistry::instance().keys(), ", ") << ")");
+  ESM_REQUIRE(ensemble_members >= 2,
+              "config: ensemble_members must be >= 2");
   ESM_REQUIRE(n_initial >= 1, "config: N_I must be >= 1");
   ESM_REQUIRE(n_step >= 1, "config: N_Step must be >= 1");
   ESM_REQUIRE(w_below > 0.0 && w_above > 0.0,

@@ -2,9 +2,10 @@
 // dataset-quality-control and loop-control knobs of §II-C/§II-E.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 
-#include "encoding/encoder.hpp"
 #include "ml/trainer.hpp"
 #include "nets/sampler.hpp"
 #include "nets/supernet.hpp"
@@ -21,7 +22,9 @@ const char* eval_strategy_name(EvalStrategy s);
 struct EsmConfig {
   SupernetSpec spec;                                   ///< architecture space
   SamplingStrategy strategy = SamplingStrategy::kBalanced;  ///< input 1
-  EncodingKind encoding = EncodingKind::kFcc;          ///< input 6 (eta)
+  std::string surrogate = "mlp";  ///< input 2: surrogate-registry key
+  std::string encoder = "fcc";    ///< input 6 (eta): encoder-registry key
+  std::size_t ensemble_members = 4;  ///< width of the "ensemble" surrogate
   int n_initial = 300;                                 ///< input 3 (N_I)
   int n_step = 100;                                    ///< input 4 (N_Step)
   double w_below = 4.0;                                ///< input 5 (w1)

@@ -1,8 +1,13 @@
 #include "esm/framework.hpp"
 
+#include <chrono>
+#include <iterator>
+#include <utility>
+
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "esm/extension.hpp"
+#include "surrogate/registry.hpp"
 
 namespace esm {
 
@@ -14,26 +19,46 @@ EsmFramework::EsmFramework(EsmConfig config, SimulatedDevice& device)
   if (config_.threads > 0) set_thread_count(config_.threads);
 }
 
-std::unique_ptr<MlpSurrogate> EsmFramework::make_predictor() const {
-  return std::make_unique<MlpSurrogate>(
-      make_encoder(config_.encoding, config_.spec), config_.train,
-      config_.seed ^ 0xe5717a7eull);
+std::unique_ptr<TrainableSurrogate> EsmFramework::make_predictor() const {
+  SurrogateContext context;
+  context.spec = config_.spec;
+  context.encoder = config_.encoder;
+  context.train = config_.train;
+  context.seed = config_.seed ^ 0xe5717a7eull;
+  context.device = device_;
+  context.ensemble_members = config_.ensemble_members;
+  return SurrogateRegistry::instance().create(config_.surrogate, context);
 }
 
-EsmResult EsmFramework::run() {
+EsmResult EsmFramework::run() { return run_impl(std::nullopt); }
+
+EsmResult EsmFramework::run(std::vector<MeasuredSample> test_set) {
+  return run_impl(std::move(test_set));
+}
+
+EsmResult EsmFramework::run_impl(
+    std::optional<std::vector<MeasuredSample>> test_set) {
   Rng rng(config_.seed);
   DatasetGenerator generator(config_, *device_, rng.split());
 
   EsmResult result;
 
   // Held-out evaluation set: balanced so every depth bin is represented
-  // (an all-random test set would leave corner bins untested).
+  // (an all-random test set would leave corner bins untested). The RNG
+  // split happens either way so a supplied test set leaves every
+  // downstream sampling stream unchanged.
   {
-    BalancedSampler test_sampler(config_.spec, config_.n_bins);
     Rng test_rng = rng.split();
-    const std::vector<ArchConfig> test_archs = test_sampler.sample_n(
-        static_cast<std::size_t>(config_.n_test), test_rng);
-    result.test_set = generator.measure_batch(test_archs);
+    if (test_set.has_value()) {
+      result.test_set = std::move(*test_set);
+      ESM_REQUIRE(!result.test_set.empty(),
+                  "a supplied test set must not be empty");
+    } else {
+      BalancedSampler test_sampler(config_.spec, config_.n_bins);
+      const std::vector<ArchConfig> test_archs = test_sampler.sample_n(
+          static_cast<std::size_t>(config_.n_test), test_rng);
+      result.test_set = generator.measure_batch(test_archs);
+    }
   }
 
   // Initial training set (input N_I) under the configured strategy.
@@ -49,25 +74,31 @@ EsmResult EsmFramework::run() {
   const BinwiseEvaluator evaluator(config_.spec, config_.n_bins,
                                    config_.acc_threshold);
 
+  // Training views grow incrementally instead of being rebuilt from the
+  // sample structs every iteration.
+  std::vector<ArchConfig> archs;
+  std::vector<double> latencies;
+  archs.reserve(result.train_set.size());
+  latencies.reserve(result.train_set.size());
+  for (const MeasuredSample& s : result.train_set) {
+    archs.push_back(s.arch);
+    latencies.push_back(s.latency_ms);
+  }
+
   double measured_cost_before = device_->measurement_cost_seconds();
   for (int iteration = 1; iteration <= config_.max_iterations; ++iteration) {
     // Train from scratch on the current dataset (the paper retrains after
     // every extension).
     auto predictor = make_predictor();
-    std::vector<ArchConfig> archs;
-    std::vector<double> latencies;
-    archs.reserve(result.train_set.size());
-    latencies.reserve(result.train_set.size());
-    for (const MeasuredSample& s : result.train_set) {
-      archs.push_back(s.arch);
-      latencies.push_back(s.latency_ms);
-    }
-    const TrainResult train = predictor->fit(archs, latencies);
+    const auto fit_start = std::chrono::steady_clock::now();
+    predictor->fit(SurrogateDataset{archs, latencies});
+    const std::chrono::duration<double> fit_elapsed =
+        std::chrono::steady_clock::now() - fit_start;
 
     IterationReport report;
     report.iteration = iteration;
     report.train_set_size = result.train_set.size();
-    report.train_seconds = train.train_seconds;
+    report.train_seconds = fit_elapsed.count();
     report.eval = evaluator.evaluate(*predictor, result.test_set);
     report.passed =
         report.eval.passed(config_.eval_strategy, config_.acc_threshold);
@@ -88,10 +119,16 @@ EsmResult EsmFramework::run() {
     // Extend the dataset (Algorithm 1) and measure the new samples.
     const std::vector<ArchConfig> extension =
         extend_dataset(config_, report.eval, sample_rng);
-    const std::vector<MeasuredSample> extra =
-        generator.measure_batch(extension);
-    result.train_set.insert(result.train_set.end(), extra.begin(),
-                            extra.end());
+    std::vector<MeasuredSample> extra = generator.measure_batch(extension);
+    archs.reserve(archs.size() + extra.size());
+    latencies.reserve(latencies.size() + extra.size());
+    for (const MeasuredSample& s : extra) {
+      archs.push_back(s.arch);
+      latencies.push_back(s.latency_ms);
+    }
+    result.train_set.insert(result.train_set.end(),
+                            std::make_move_iterator(extra.begin()),
+                            std::make_move_iterator(extra.end()));
   }
 
   result.final_train_set_size = result.train_set.size();

@@ -11,16 +11,20 @@
 //
 // The run records per-iteration telemetry (dataset size, per-bin accuracy,
 // measurement cost, training cost) that the Fig. 11 bench replays.
+//
+// The surrogate family and encoding are chosen by registry key from
+// EsmConfig (surrogate/encoder); the loop never names a concrete type.
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "esm/config.hpp"
 #include "esm/dataset_gen.hpp"
 #include "esm/evaluator.hpp"
 #include "hwsim/measurement.hpp"
-#include "surrogate/mlp_surrogate.hpp"
+#include "surrogate/trainable.hpp"
 
 namespace esm {
 
@@ -36,7 +40,7 @@ struct IterationReport {
 
 /// Outcome of a full framework run.
 struct EsmResult {
-  std::unique_ptr<MlpSurrogate> predictor;
+  std::unique_ptr<TrainableSurrogate> predictor;
   std::vector<IterationReport> iterations;
   bool converged = false;
   std::size_t final_train_set_size = 0;
@@ -55,10 +59,16 @@ class EsmFramework {
   /// Runs the loop to convergence (all bins >= Acc_TH) or exhaustion.
   EsmResult run();
 
+  /// Same loop over a pre-measured held-out test set (e.g. from a previous
+  /// run on the same device/seed), skipping its re-measurement. Used by
+  /// ablations that vary only the surrogate kind.
+  EsmResult run(std::vector<MeasuredSample> test_set);
+
   const EsmConfig& config() const { return config_; }
 
  private:
-  std::unique_ptr<MlpSurrogate> make_predictor() const;
+  std::unique_ptr<TrainableSurrogate> make_predictor() const;
+  EsmResult run_impl(std::optional<std::vector<MeasuredSample>> test_set);
 
   EsmConfig config_;
   SimulatedDevice* device_;  // non-owning

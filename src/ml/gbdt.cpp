@@ -51,4 +51,33 @@ std::vector<double> GradientBoostingRegressor::predict(const Matrix& x) const {
   return out;
 }
 
+void GradientBoostingRegressor::save(ArchiveWriter& archive,
+                                     const std::string& prefix) const {
+  ESM_REQUIRE(fitted_, "cannot save an unfitted GBDT");
+  archive.put_double(prefix + "learning_rate", config_.learning_rate);
+  archive.put_double(prefix + "base_prediction", base_prediction_);
+  archive.put_int(prefix + "stages", static_cast<long long>(stages_.size()));
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    stages_[i].save(archive, prefix + "s" + std::to_string(i) + ".");
+  }
+}
+
+GradientBoostingRegressor GradientBoostingRegressor::load(
+    const ArchiveReader& archive, const std::string& prefix) {
+  const long long stages = archive.get_int(prefix + "stages");
+  ESM_REQUIRE(stages >= 1, "GBDT archive '" << prefix << "' has no stages");
+  GbdtConfig config;
+  config.n_estimators = static_cast<int>(stages);
+  config.learning_rate = archive.get_double(prefix + "learning_rate");
+  GradientBoostingRegressor model(config);
+  model.base_prediction_ = archive.get_double(prefix + "base_prediction");
+  model.stages_.reserve(static_cast<std::size_t>(stages));
+  for (long long i = 0; i < stages; ++i) {
+    model.stages_.push_back(DecisionTreeRegressor::load(
+        archive, prefix + "s" + std::to_string(i) + "."));
+  }
+  model.fitted_ = true;
+  return model;
+}
+
 }  // namespace esm

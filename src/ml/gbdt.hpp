@@ -33,6 +33,13 @@ class GradientBoostingRegressor {
   bool fitted() const { return fitted_; }
   std::size_t stage_count() const { return stages_.size(); }
 
+  /// Persists the fitted ensemble (base prediction, shrinkage, stage trees).
+  void save(ArchiveWriter& archive, const std::string& prefix) const;
+
+  /// Restores an ensemble saved with save().
+  static GradientBoostingRegressor load(const ArchiveReader& archive,
+                                        const std::string& prefix);
+
  private:
   GbdtConfig config_;
   double base_prediction_ = 0.0;

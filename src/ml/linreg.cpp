@@ -23,6 +23,13 @@ void LinearRegression::fit(const Matrix& x, std::span<const double> y) {
   weights_ = std::move(solution);
 }
 
+void LinearRegression::set_state(std::vector<double> weights,
+                                 double intercept) {
+  ESM_REQUIRE(!weights.empty(), "LinearRegression state needs >= 1 weight");
+  weights_ = std::move(weights);
+  intercept_ = intercept;
+}
+
 std::vector<double> LinearRegression::predict(const Matrix& x) const {
   ESM_REQUIRE(fitted(), "LinearRegression used before fit()");
   ESM_REQUIRE(x.cols() == weights_.size(),

@@ -30,6 +30,9 @@ class LinearRegression {
   const std::vector<double>& weights() const { return weights_; }
   double intercept() const { return intercept_; }
 
+  /// Restores a fitted state (used when loading persisted surrogates).
+  void set_state(std::vector<double> weights, double intercept);
+
  private:
   double lambda_;
   std::vector<double> weights_;

@@ -178,4 +178,60 @@ int DecisionTreeRegressor::depth() const {
   return max_depth;
 }
 
+void DecisionTreeRegressor::save(ArchiveWriter& archive,
+                                 const std::string& prefix) const {
+  ESM_REQUIRE(fitted(), "cannot save an unfitted tree");
+  // Five parallel columns; ints round-trip exactly as doubles at these
+  // magnitudes.
+  std::vector<double> feature, threshold, value, left, right;
+  feature.reserve(nodes_.size());
+  threshold.reserve(nodes_.size());
+  value.reserve(nodes_.size());
+  left.reserve(nodes_.size());
+  right.reserve(nodes_.size());
+  for (const Node& n : nodes_) {
+    feature.push_back(static_cast<double>(n.feature));
+    threshold.push_back(n.threshold);
+    value.push_back(n.value);
+    left.push_back(static_cast<double>(n.left));
+    right.push_back(static_cast<double>(n.right));
+  }
+  archive.put_doubles(prefix + "feature", feature);
+  archive.put_doubles(prefix + "threshold", threshold);
+  archive.put_doubles(prefix + "value", value);
+  archive.put_doubles(prefix + "left", left);
+  archive.put_doubles(prefix + "right", right);
+}
+
+DecisionTreeRegressor DecisionTreeRegressor::load(const ArchiveReader& archive,
+                                                  const std::string& prefix) {
+  const std::vector<double> feature = archive.get_doubles(prefix + "feature");
+  const std::vector<double> threshold =
+      archive.get_doubles(prefix + "threshold");
+  const std::vector<double> value = archive.get_doubles(prefix + "value");
+  const std::vector<double> left = archive.get_doubles(prefix + "left");
+  const std::vector<double> right = archive.get_doubles(prefix + "right");
+  const std::size_t n = feature.size();
+  ESM_REQUIRE(n > 0, "tree archive '" << prefix << "' is empty");
+  ESM_REQUIRE(threshold.size() == n && value.size() == n &&
+                  left.size() == n && right.size() == n,
+              "tree archive '" << prefix << "' has mismatched columns");
+  DecisionTreeRegressor tree;
+  tree.nodes_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Node& node = tree.nodes_[i];
+    node.feature = static_cast<int>(feature[i]);
+    node.threshold = threshold[i];
+    node.value = value[i];
+    node.left = static_cast<int>(left[i]);
+    node.right = static_cast<int>(right[i]);
+    const bool is_leaf = node.feature < 0;
+    ESM_REQUIRE(is_leaf || (node.left >= 0 && node.right >= 0 &&
+                            static_cast<std::size_t>(node.left) < n &&
+                            static_cast<std::size_t>(node.right) < n),
+                "tree archive '" << prefix << "' has dangling child index");
+  }
+  return tree;
+}
+
 }  // namespace esm

@@ -5,8 +5,10 @@
 
 #include <cstddef>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "common/archive.hpp"
 #include "linalg/matrix.hpp"
 
 namespace esm {
@@ -31,6 +33,14 @@ class DecisionTreeRegressor {
   bool fitted() const { return !nodes_.empty(); }
   std::size_t node_count() const { return nodes_.size(); }
   int depth() const;
+
+  /// Persists the fitted node table (hyper-parameters are not saved; a
+  /// loaded tree predicts but refits under default config).
+  void save(ArchiveWriter& archive, const std::string& prefix) const;
+
+  /// Restores a tree saved with save().
+  static DecisionTreeRegressor load(const ArchiveReader& archive,
+                                    const std::string& prefix);
 
  private:
   struct Node {

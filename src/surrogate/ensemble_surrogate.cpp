@@ -3,10 +3,11 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "encoding/registry.hpp"
 
 namespace esm {
 
-EnsembleSurrogate::EnsembleSurrogate(EncodingKind encoding,
+EnsembleSurrogate::EnsembleSurrogate(const std::string& encoder_key,
                                      const SupernetSpec& spec,
                                      TrainConfig train_config,
                                      std::size_t members, std::uint64_t seed) {
@@ -14,9 +15,52 @@ EnsembleSurrogate::EnsembleSurrogate(EncodingKind encoding,
   members_.reserve(members);
   for (std::size_t i = 0; i < members; ++i) {
     members_.push_back(std::make_unique<MlpSurrogate>(
-        make_encoder(encoding, spec), train_config,
+        make_encoder(encoder_key, spec), train_config,
         seed + 0x9e37ull * (i + 1)));
   }
+}
+
+EnsembleSurrogate::EnsembleSurrogate(
+    std::vector<std::unique_ptr<MlpSurrogate>> members)
+    : members_(std::move(members)) {
+  ESM_REQUIRE(members_.size() >= 2, "an ensemble needs at least two members");
+}
+
+void EnsembleSurrogate::fit(const SurrogateDataset& data) {
+  fit(data.archs, data.latencies_ms);
+}
+
+std::string EnsembleSurrogate::encoder_key() const {
+  return members_.front()->encoder_key();
+}
+
+const SupernetSpec& EnsembleSurrogate::spec() const {
+  return members_.front()->spec();
+}
+
+void EnsembleSurrogate::save(ArchiveWriter& archive) const {
+  ESM_REQUIRE(fitted(), "cannot save an unfitted EnsembleSurrogate");
+  archive.put_int("ensemble.members",
+                  static_cast<long long>(members_.size()));
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    members_[i]->save_state(archive, "member" + std::to_string(i) + ".");
+  }
+}
+
+std::unique_ptr<EnsembleSurrogate> EnsembleSurrogate::load_state(
+    const ArchiveReader& archive, const std::string& encoder_key,
+    const SupernetSpec& spec) {
+  const long long count = archive.get_int("ensemble.members");
+  ESM_REQUIRE(count >= 2, "ensemble artifact needs >= 2 members");
+  std::vector<std::unique_ptr<MlpSurrogate>> members;
+  members.reserve(static_cast<std::size_t>(count));
+  for (long long i = 0; i < count; ++i) {
+    members.push_back(MlpSurrogate::load_state(
+        archive, "member" + std::to_string(i) + ".",
+        make_encoder(encoder_key, spec)));
+  }
+  return std::unique_ptr<EnsembleSurrogate>(
+      new EnsembleSurrogate(std::move(members)));
 }
 
 bool EnsembleSurrogate::fitted() const {

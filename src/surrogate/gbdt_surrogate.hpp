@@ -1,0 +1,47 @@
+// Gradient-boosted-tree latency surrogate: encoder features into the
+// squared-loss GBDT from src/ml. One of the paper's Fig. 9 model families;
+// fully deterministic (CART splits are exhaustive), so no seed is needed.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "encoding/encoder.hpp"
+#include "ml/gbdt.hpp"
+#include "surrogate/trainable.hpp"
+
+namespace esm {
+
+/// Encoder-fronted gradient-boosted regression trees.
+class GbdtSurrogate final : public TrainableSurrogate {
+ public:
+  /// Takes ownership of the encoder.
+  explicit GbdtSurrogate(std::unique_ptr<Encoder> encoder,
+                         GbdtConfig config = {});
+
+  void fit(const SurrogateDataset& data) override;
+
+  double predict_ms(const ArchConfig& arch) const override;
+  std::string name() const override;
+  std::string kind() const override { return "gbdt"; }
+  std::string encoder_key() const override;
+  const SupernetSpec& spec() const override { return encoder_->spec(); }
+  bool fitted() const override { return model_.has_value() && model_->fitted(); }
+
+  /// Persists the boosted-tree state under "gbdt." keys.
+  void save(ArchiveWriter& archive) const override;
+
+  /// Restores a surrogate saved with save(); `encoder` must match the
+  /// spec/encoding recorded in the enclosing artifact header.
+  static std::unique_ptr<GbdtSurrogate> load_state(
+      const ArchiveReader& archive, std::unique_ptr<Encoder> encoder);
+
+  const Encoder& encoder() const { return *encoder_; }
+
+ private:
+  std::unique_ptr<Encoder> encoder_;
+  GbdtConfig config_;
+  std::optional<GradientBoostingRegressor> model_;
+};
+
+}  // namespace esm

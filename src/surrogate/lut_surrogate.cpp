@@ -9,6 +9,21 @@ namespace esm {
 LutSurrogate::LutSurrogate(SupernetSpec spec, SimulatedDevice& device)
     : spec_(std::move(spec)), device_(&device) {}
 
+LutSurrogate::LutSurrogate(SupernetSpec spec,
+                           std::map<std::string, double> table)
+    : spec_(std::move(spec)), device_(nullptr), table_(std::move(table)) {
+  ESM_REQUIRE(!table_.empty(),
+              "a device-less LUT surrogate needs a non-empty table");
+}
+
+void LutSurrogate::fit(const SurrogateDataset& data) {
+  ESM_REQUIRE(data.size() > 0, "LutSurrogate::fit requires data");
+  warm_table(data.archs);
+  if (data.size() >= 2) {
+    fit_bias_correction(data.archs, data.latencies_ms);
+  }
+}
+
 std::string LutSurrogate::signature(const Layer& layer) {
   std::ostringstream os;
   os << layer_kind_name(layer.kind) << ':' << layer.kernel << ':'
@@ -23,6 +38,11 @@ double LutSurrogate::layer_cost_ms(const Layer& layer) const {
   const std::string key = signature(layer);
   const auto it = table_.find(key);
   if (it != table_.end()) return it->second;
+  ESM_REQUIRE(device_ != nullptr,
+              "LUT surrogate has no device to profile layer '"
+                  << key
+                  << "' (artifact-loaded LUTs serve saved table entries "
+                     "only)");
 
   // Profile the layer in isolation: a single-kernel probe graph measured
   // with the full protocol (warm-up + 150 runs + trimmed mean). The probe
@@ -63,6 +83,13 @@ void LutSurrogate::fit_bias_correction(std::span<const ArchConfig> archs,
   bias_correction_ = std::move(reg);
 }
 
+void LutSurrogate::set_bias_state(std::vector<double> weights,
+                                  double intercept) {
+  LinearRegression reg;
+  reg.set_state(std::move(weights), intercept);
+  bias_correction_ = std::move(reg);
+}
+
 double LutSurrogate::predict_ms(const ArchConfig& arch) const {
   const double raw = lut_ms(arch);
   if (!bias_correction_) return raw;
@@ -72,6 +99,38 @@ double LutSurrogate::predict_ms(const ArchConfig& arch) const {
 
 std::string LutSurrogate::name() const {
   return bias_corrected() ? "LUT+BC" : "LUT";
+}
+
+std::vector<double> LutSurrogate::predict_all(
+    std::span<const ArchConfig> archs) const {
+  // Serial on purpose: lazy profiling mutates table_ and charges the
+  // device's measurement-cost account, neither of which tolerates
+  // concurrent callers.
+  std::vector<double> out;
+  out.reserve(archs.size());
+  for (const ArchConfig& arch : archs) out.push_back(predict_ms(arch));
+  return out;
+}
+
+void LutSurrogate::save(ArchiveWriter& archive) const {
+  ESM_REQUIRE(fitted(), "cannot save an empty LUT surrogate");
+  // Signatures are whitespace-free by construction, so they store directly
+  // as archive string tokens; std::map iteration gives a stable key order.
+  std::vector<std::string> keys;
+  std::vector<double> values;
+  keys.reserve(table_.size());
+  values.reserve(table_.size());
+  for (const auto& [key, value] : table_) {
+    keys.push_back(key);
+    values.push_back(value);
+  }
+  archive.put_strings("lut.keys", keys);
+  archive.put_doubles("lut.values", values);
+  archive.put_int("lut.bias_corrected", bias_corrected() ? 1 : 0);
+  if (bias_corrected()) {
+    archive.put_doubles("lut.bias.weights", bias_correction_->weights());
+    archive.put_double("lut.bias.intercept", bias_correction_->intercept());
+  }
 }
 
 }  // namespace esm

@@ -15,6 +15,9 @@
 // between layers" the paper says LUTs cannot capture.
 // fit_bias_correction() fits the paper's linear-regression correction
 // (measured ≈ a * lut + b) on a calibration set.
+//
+// A LUT loaded from an artifact has no device: it serves the persisted
+// table only and raises ConfigError on layers it never profiled.
 #pragma once
 
 #include <cstddef>
@@ -28,17 +31,25 @@
 #include "ml/linreg.hpp"
 #include "nets/builder.hpp"
 #include "nets/supernet.hpp"
-#include "surrogate/predictor.hpp"
+#include "surrogate/trainable.hpp"
 
 namespace esm {
 
 /// Additive block-wise lookup-table surrogate with optional bias correction.
-class LutSurrogate final : public LatencyPredictor {
+class LutSurrogate final : public TrainableSurrogate {
  public:
   /// Borrows the device for profiling; the device must outlive the
   /// surrogate. Profiling happens lazily (memoized) on first use of each
   /// block type and is charged to the device's measurement-cost account.
   LutSurrogate(SupernetSpec spec, SimulatedDevice& device);
+
+  /// Device-less serving mode: answers from `table` only and raises
+  /// ConfigError on unprofiled layers. Used when loading artifacts.
+  LutSurrogate(SupernetSpec spec, std::map<std::string, double> table);
+
+  /// Warms the table over the dataset's architectures, then fits the bias
+  /// correction when >= 2 samples are available.
+  void fit(const SurrogateDataset& data) override;
 
   /// Uncorrected additive LUT prediction.
   double lut_ms(const ArchConfig& arch) const;
@@ -48,12 +59,31 @@ class LutSurrogate final : public LatencyPredictor {
   void fit_bias_correction(std::span<const ArchConfig> archs,
                            std::span<const double> measured_ms);
 
+  /// Restores a persisted bias correction (weights + intercept).
+  void set_bias_state(std::vector<double> weights, double intercept);
+
   /// Removes the bias correction (back to the raw additive model).
   void clear_bias_correction() { bias_correction_.reset(); }
   bool bias_corrected() const { return bias_correction_.has_value(); }
 
   double predict_ms(const ArchConfig& arch) const override;
   std::string name() const override;
+  std::string kind() const override { return "lut"; }
+  std::string encoder_key() const override { return encoder_key_; }
+  const SupernetSpec& spec() const override { return spec_; }
+  bool fitted() const override { return !table_.empty(); }
+
+  /// Lazy profiling mutates the memo table and charges device measurement
+  /// cost, so batch prediction must stay serial.
+  std::vector<double> predict_all(
+      std::span<const ArchConfig> archs) const override;
+
+  /// Persists the profiled table and bias correction.
+  void save(ArchiveWriter& archive) const override;
+
+  /// Records which encoder key the artifact header should carry (the LUT
+  /// itself never encodes; defaults to "none").
+  void set_encoder_key(std::string key) { encoder_key_ = std::move(key); }
 
   /// Number of distinct layer types profiled so far.
   std::size_t table_size() const { return table_.size(); }
@@ -71,7 +101,8 @@ class LutSurrogate final : public LatencyPredictor {
   double layer_cost_ms(const Layer& layer) const;
 
   SupernetSpec spec_;
-  SimulatedDevice* device_;  // non-owning
+  SimulatedDevice* device_;  // non-owning; nullptr in serving mode
+  std::string encoder_key_ = "none";
   mutable std::map<std::string, double> table_;
   std::optional<LinearRegression> bias_correction_;
 };

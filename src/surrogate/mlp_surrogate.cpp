@@ -2,9 +2,9 @@
 
 #include <vector>
 
-#include "common/archive.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "encoding/registry.hpp"
 
 namespace esm {
 
@@ -48,54 +48,63 @@ double MlpSurrogate::predict_ms(const ArchConfig& arch) const {
   return target_scaler_.inverse(standardized);
 }
 
+void MlpSurrogate::fit(const SurrogateDataset& data) {
+  (void)fit(data.archs, data.latencies_ms);
+}
+
 std::string MlpSurrogate::name() const {
   return "MLP+" + encoder_->name();
 }
 
-void MlpSurrogate::save(const std::string& path) const {
-  ESM_REQUIRE(fitted(), "cannot save an unfitted MlpSurrogate");
-  ArchiveWriter archive;
-  archive.put_string("model", "mlp-surrogate");
-  archive.put_string("encoding", encoder_->name());
-  encoder_->spec().save(archive, "spec");
-  archive.put_doubles("input.means", input_standardizer_.means());
-  archive.put_doubles("input.scales", input_standardizer_.scales());
-  archive.put_double("target.mean", target_scaler_.mean());
-  archive.put_double("target.scale", target_scaler_.scale());
-  archive.put_int("train.epochs", train_config_.epochs);
-  archive.put_int("train.batch_size",
-                  static_cast<long long>(train_config_.batch_size));
-  archive.put_double("train.learning_rate",
-                     train_config_.adam.learning_rate);
-  archive.put_double("train.weight_decay", train_config_.adam.weight_decay);
-  archive.put_int("seed", static_cast<long long>(seed_));
-  mlp_->save(archive, "mlp");
-  archive.save(path);
+std::string MlpSurrogate::encoder_key() const {
+  return encoder_registry_key(encoder_->kind());
 }
 
-MlpSurrogate MlpSurrogate::load(const std::string& path) {
-  const ArchiveReader archive = ArchiveReader::from_file(path);
-  ESM_REQUIRE(archive.get_string("model") == "mlp-surrogate",
-              "archive does not hold an MLP surrogate: " << path);
-  const SupernetSpec spec = SupernetSpec::load(archive, "spec");
-  const EncodingKind kind =
-      encoding_kind_from_name(archive.get_string("encoding"));
+void MlpSurrogate::save(ArchiveWriter& archive) const {
+  save_state(archive, "");
+}
 
+void MlpSurrogate::save_state(ArchiveWriter& archive,
+                              const std::string& prefix) const {
+  ESM_REQUIRE(fitted(), "cannot save an unfitted MlpSurrogate");
+  archive.put_doubles(prefix + "input.means", input_standardizer_.means());
+  archive.put_doubles(prefix + "input.scales", input_standardizer_.scales());
+  archive.put_double(prefix + "target.mean", target_scaler_.mean());
+  archive.put_double(prefix + "target.scale", target_scaler_.scale());
+  archive.put_int(prefix + "train.epochs", train_config_.epochs);
+  archive.put_int(prefix + "train.batch_size",
+                  static_cast<long long>(train_config_.batch_size));
+  archive.put_double(prefix + "train.learning_rate",
+                     train_config_.adam.learning_rate);
+  archive.put_double(prefix + "train.weight_decay",
+                     train_config_.adam.weight_decay);
+  archive.put_int(prefix + "seed", static_cast<long long>(seed_));
+  mlp_->save(archive, prefix + "mlp");
+}
+
+std::unique_ptr<MlpSurrogate> MlpSurrogate::load_state(
+    const ArchiveReader& archive, const std::string& prefix,
+    std::unique_ptr<Encoder> encoder) {
   TrainConfig train;
-  train.epochs = static_cast<int>(archive.get_int("train.epochs"));
+  train.epochs = static_cast<int>(archive.get_int(prefix + "train.epochs"));
   train.batch_size =
-      static_cast<std::size_t>(archive.get_int("train.batch_size"));
-  train.adam.learning_rate = archive.get_double("train.learning_rate");
-  train.adam.weight_decay = archive.get_double("train.weight_decay");
+      static_cast<std::size_t>(archive.get_int(prefix + "train.batch_size"));
+  train.adam.learning_rate =
+      archive.get_double(prefix + "train.learning_rate");
+  train.adam.weight_decay =
+      archive.get_double(prefix + "train.weight_decay");
 
-  MlpSurrogate surrogate(make_encoder(kind, spec), train,
-                         static_cast<std::uint64_t>(archive.get_int("seed")));
-  surrogate.input_standardizer_.set_state(archive.get_doubles("input.means"),
-                                          archive.get_doubles("input.scales"));
-  surrogate.target_scaler_.set_state(archive.get_double("target.mean"),
-                                     archive.get_double("target.scale"));
-  surrogate.mlp_.emplace(Mlp::load(archive, "mlp"));
-  ESM_REQUIRE(surrogate.mlp_->input_dim() == surrogate.encoder_->dimension(),
+  auto surrogate = std::make_unique<MlpSurrogate>(
+      std::move(encoder), train,
+      static_cast<std::uint64_t>(archive.get_int(prefix + "seed")));
+  surrogate->input_standardizer_.set_state(
+      archive.get_doubles(prefix + "input.means"),
+      archive.get_doubles(prefix + "input.scales"));
+  surrogate->target_scaler_.set_state(
+      archive.get_double(prefix + "target.mean"),
+      archive.get_double(prefix + "target.scale"));
+  surrogate->mlp_.emplace(Mlp::load(archive, prefix + "mlp"));
+  ESM_REQUIRE(surrogate->mlp_->input_dim() == surrogate->encoder_->dimension(),
               "archived MLP input dim does not match the encoder");
   return surrogate;
 }

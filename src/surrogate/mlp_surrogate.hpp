@@ -13,12 +13,12 @@
 #include "linalg/standardizer.hpp"
 #include "ml/mlp.hpp"
 #include "ml/trainer.hpp"
-#include "surrogate/predictor.hpp"
+#include "surrogate/trainable.hpp"
 
 namespace esm {
 
 /// Encoder-fronted MLP regression surrogate.
-class MlpSurrogate final : public LatencyPredictor {
+class MlpSurrogate final : public TrainableSurrogate {
  public:
   /// Takes ownership of the encoder. `seed` controls weight initialization
   /// and minibatch shuffling, making fits reproducible.
@@ -30,17 +30,29 @@ class MlpSurrogate final : public LatencyPredictor {
   TrainResult fit(std::span<const ArchConfig> archs,
                   std::span<const double> latencies_ms);
 
+  void fit(const SurrogateDataset& data) override;
+
   double predict_ms(const ArchConfig& arch) const override;
   std::string name() const override;
+  std::string kind() const override { return "mlp"; }
+  std::string encoder_key() const override;
+  const SupernetSpec& spec() const override { return encoder_->spec(); }
 
-  /// Persists a fitted surrogate (encoder identity + space spec +
-  /// standardizers + MLP weights) to a portable archive file.
-  void save(const std::string& path) const;
+  /// Writes the fitted state (standardizers, train config, seed, weights)
+  /// with no prefix; see save_state for embedding under a prefix.
+  void save(ArchiveWriter& archive) const override;
 
-  /// Restores a surrogate saved with save(); ready to predict immediately.
-  static MlpSurrogate load(const std::string& path);
+  /// Writes the fitted state with every key prefixed (used by the ensemble
+  /// surrogate to pack members into one archive).
+  void save_state(ArchiveWriter& archive, const std::string& prefix) const;
 
-  bool fitted() const { return mlp_.has_value(); }
+  /// Restores a surrogate saved with save_state(); `encoder` must match the
+  /// spec/encoding recorded in the enclosing artifact header.
+  static std::unique_ptr<MlpSurrogate> load_state(
+      const ArchiveReader& archive, const std::string& prefix,
+      std::unique_ptr<Encoder> encoder);
+
+  bool fitted() const override { return mlp_.has_value(); }
   const Encoder& encoder() const { return *encoder_; }
   const TrainConfig& train_config() const { return train_config_; }
 

@@ -21,8 +21,12 @@ class LatencyPredictor {
   /// Human-readable model name for tables ("MLP+fcc", "LUT+BC", ...).
   virtual std::string name() const = 0;
 
-  /// Batch prediction convenience.
-  std::vector<double> predict_all(std::span<const ArchConfig> archs) const;
+  /// Batch prediction. The default fans out over the deterministic thread
+  /// pool (results in input order, bit-identical at any thread count);
+  /// surrogates whose predict_ms is not const-pure (e.g. the lazily
+  /// profiling LUT) override this with a serial loop.
+  virtual std::vector<double> predict_all(
+      std::span<const ArchConfig> archs) const;
 };
 
 }  // namespace esm

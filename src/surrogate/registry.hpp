@@ -1,0 +1,93 @@
+// Registry of trainable surrogates keyed by short stable strings, plus the
+// uniform artifact format. The ESM loop, the CLI, and the benches select
+// surrogates by key from EsmConfig; save_surrogate/load_surrogate round-trip
+// any registered kind through a self-describing archive (header: esm.format,
+// esm.kind, esm.encoder, spec.*), so a surrogate trained in one process can
+// serve predictions in another.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hwsim/measurement.hpp"
+#include "ml/trainer.hpp"
+#include "nets/supernet.hpp"
+#include "surrogate/trainable.hpp"
+
+namespace esm {
+
+/// Artifact schema version written as "esm.format". Bump when the header
+/// layout changes incompatibly; load_surrogate rejects other versions.
+inline constexpr long long kSurrogateFormatVersion = 1;
+
+/// Everything a surrogate factory may need. Factories take what applies to
+/// their family and ignore the rest (e.g. the LUT ignores `encoder` and
+/// `train`; the MLP ignores `device`).
+struct SurrogateContext {
+  SupernetSpec spec;
+  std::string encoder = "fcc";  ///< encoder-registry key
+  TrainConfig train;
+  std::uint64_t seed = 0;
+  SimulatedDevice* device = nullptr;  ///< required by "lut" for training
+  std::size_t ensemble_members = 4;   ///< used by "ensemble"
+};
+
+/// Maps surrogate keys ("mlp", "lut", "gbdt", "ensemble") to a factory
+/// (fresh trainable instance) and a loader (instance restored from an
+/// artifact archive).
+class SurrogateRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<TrainableSurrogate>(
+      const SurrogateContext& context)>;
+  using Loader = std::function<std::unique_ptr<TrainableSurrogate>(
+      const ArchiveReader& archive, const SurrogateContext& context)>;
+
+  /// Process-wide registry with the built-in families pre-registered.
+  static SurrogateRegistry& instance();
+
+  /// Registers a family under a key; rejects duplicates.
+  void add(const std::string& key, Factory factory, Loader loader);
+
+  bool has(const std::string& key) const;
+
+  /// Builds a fresh, unfitted surrogate of the registered kind; throws
+  /// ConfigError listing the registered keys when the key is unknown.
+  std::unique_ptr<TrainableSurrogate> create(
+      const std::string& key, const SurrogateContext& context) const;
+
+  /// Restores a surrogate of the registered kind from an artifact archive.
+  std::unique_ptr<TrainableSurrogate> load(
+      const std::string& key, const ArchiveReader& archive,
+      const SurrogateContext& context) const;
+
+  /// Keys in registration order.
+  std::vector<std::string> keys() const;
+
+ private:
+  SurrogateRegistry() = default;
+
+  struct Entry {
+    Factory factory;
+    Loader loader;
+  };
+
+  const Entry& entry(const std::string& key) const;
+
+  std::vector<std::string> order_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// Writes `surrogate` to `path` with the self-describing artifact header.
+void save_surrogate(const TrainableSurrogate& surrogate,
+                    const std::string& path);
+
+/// Reads the artifact header at `path` and dispatches to the registered
+/// loader for its kind. The result predicts immediately; fitting again
+/// requires family-specific context (device, encoder) and is not restored.
+std::unique_ptr<TrainableSurrogate> load_surrogate(const std::string& path);
+
+}  // namespace esm

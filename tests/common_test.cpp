@@ -420,6 +420,35 @@ TEST(ArchiveTest, RejectsBadHeader) {
   EXPECT_THROW(ArchiveReader::from_string("not-an-archive\n"), ConfigError);
 }
 
+TEST(ArchiveTest, RejectsUnknownFormatVersion) {
+  // A garbled header and a newer format version are distinct errors: the
+  // former is "not an archive", the latter names the unsupported version.
+  try {
+    ArchiveReader::from_string("esm-archive v2\na 1 1\n");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported archive format"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(ArchiveReader::from_string("esm-archive v999\n"), ConfigError);
+}
+
+TEST(ArchiveTest, RoundTripsStringVectors) {
+  ArchiveWriter writer;
+  writer.put_strings("toks", {"conv3x3", "relu", "dwconv5x5_s2"});
+  const ArchiveReader reader = ArchiveReader::from_string(writer.to_string());
+  EXPECT_EQ(reader.get_strings("toks"),
+            (std::vector<std::string>{"conv3x3", "relu", "dwconv5x5_s2"}));
+  EXPECT_TRUE(reader.get_strings("toks").size() == 3u);
+}
+
+TEST(ArchiveTest, PutStringsRejectsNonTokenValues) {
+  ArchiveWriter writer;
+  EXPECT_THROW(writer.put_strings("k", {"two words"}), ConfigError);
+  EXPECT_THROW(writer.put_strings("k", {""}), ConfigError);
+}
+
 TEST(ArchiveTest, RejectsMissingKeyAndDuplicates) {
   ArchiveWriter writer;
   writer.put_int("a", 1);

@@ -88,6 +88,27 @@ TEST(EsmConfigTest, RejectsBadValues) {
   EXPECT_THROW(cfg.validate(), ConfigError);
 }
 
+TEST(EsmConfigTest, RejectsUnknownRegistryKeys) {
+  EsmConfig cfg = small_config();
+  cfg.surrogate = "svm";
+  try {
+    cfg.validate();
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    // The error must list what IS registered so the fix is obvious.
+    EXPECT_NE(std::string(e.what()).find("mlp, lut, gbdt, ensemble"),
+              std::string::npos)
+        << e.what();
+  }
+  cfg = small_config();
+  cfg.encoder = "binary";
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg = small_config();
+  cfg.surrogate = "ensemble";
+  cfg.ensemble_members = 1;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+}
+
 TEST(EsmConfigTest, EvalStrategyNames) {
   EXPECT_STREQ(eval_strategy_name(EvalStrategy::kOverall), "overall");
   EXPECT_STREQ(eval_strategy_name(EvalStrategy::kBinWise), "bin-wise");
@@ -379,6 +400,42 @@ TEST(FrameworkTest, DeterministicUnderSeed) {
     EXPECT_DOUBLE_EQ(r1.iterations[i].eval.overall_accuracy,
                      r2.iterations[i].eval.overall_accuracy);
   }
+}
+
+TEST(FrameworkTest, SurrogateKeySelectsPredictorFamily) {
+  EsmConfig cfg = small_config();
+  cfg.surrogate = "gbdt";
+  cfg.max_iterations = 1;
+  SimulatedDevice device(rtx4090_spec(), 41);
+  const EsmResult result = EsmFramework(cfg, device).run();
+  ASSERT_NE(result.predictor, nullptr);
+  EXPECT_EQ(result.predictor->kind(), "gbdt");
+  EXPECT_EQ(result.predictor->encoder_key(), cfg.encoder);
+}
+
+TEST(FrameworkTest, RunWithSuppliedTestSetSkipsItsMeasurement) {
+  EsmConfig cfg = small_config();
+  cfg.max_iterations = 1;
+
+  // Baseline run measures its own test set...
+  SimulatedDevice d1(rtx4090_spec(), 43);
+  const EsmResult full = EsmFramework(cfg, d1).run();
+  ASSERT_EQ(full.test_set.size(), static_cast<std::size_t>(cfg.n_test));
+
+  // ...an ablation run on a fresh device reuses it verbatim and pays less
+  // simulated measurement cost.
+  SimulatedDevice d2(rtx4090_spec(), 43);
+  const EsmResult reused = EsmFramework(cfg, d2).run(full.test_set);
+  ASSERT_EQ(reused.test_set.size(), full.test_set.size());
+  for (std::size_t i = 0; i < full.test_set.size(); ++i) {
+    EXPECT_EQ(reused.test_set[i].arch, full.test_set[i].arch);
+    EXPECT_EQ(reused.test_set[i].latency_ms, full.test_set[i].latency_ms);
+  }
+  EXPECT_LT(reused.total_measurement_seconds,
+            full.total_measurement_seconds);
+
+  SimulatedDevice d3(rtx4090_spec(), 45);
+  EXPECT_THROW(EsmFramework(cfg, d3).run({}), ConfigError);
 }
 
 TEST(FrameworkTest, ValidatesConfigAtConstruction) {

@@ -268,5 +268,30 @@ TEST_F(ParallelTest, SeededRunIsBitIdenticalAcrossThreadCounts) {
             threaded.total_measurement_seconds);
 }
 
+TEST_F(ParallelTest, PredictAllIsBitIdenticalAcrossThreadCounts) {
+  // predict_all fans out over the pool; results must come back in input
+  // order and bit-identical to the serial path at any thread count.
+  const EsmConfig cfg = tiny_config();
+  SimulatedDevice device(rtx4090_spec(), 31);
+  const EsmResult result = EsmFramework(cfg, device).run();
+
+  RandomSampler sampler(cfg.spec);
+  Rng rng(123);
+  const std::vector<ArchConfig> probes = sampler.sample_n(129, rng);
+
+  set_thread_count(1);
+  const std::vector<double> serial = result.predictor->predict_all(probes);
+  set_thread_count(8);
+  const std::vector<double> threaded = result.predictor->predict_all(probes);
+
+  ASSERT_EQ(serial.size(), probes.size());
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], threaded[i]) << "probe " << i;
+    EXPECT_EQ(serial[i], result.predictor->predict_ms(probes[i]))
+        << "probe " << i;
+  }
+}
+
 }  // namespace
 }  // namespace esm

@@ -16,6 +16,7 @@
 #include "surrogate/gcn_surrogate.hpp"
 #include "surrogate/lut_surrogate.hpp"
 #include "surrogate/mlp_surrogate.hpp"
+#include "surrogate/registry.hpp"
 
 namespace esm {
 namespace {
@@ -125,14 +126,16 @@ TEST(MlpSurrogateTest, SaveLoadRoundTripPredictsIdentically) {
   MlpSurrogate original(make_encoder(EncodingKind::kFcc, spec), fast_train(),
                         8);
   original.fit(data.train_archs, data.train_y);
-  const std::string path = testing::TempDir() + "/esm_surrogate.txt";
-  original.save(path);
+  const std::string path = testing::TempDir() + "/esm_surrogate.esm";
+  save_surrogate(original, path);
 
-  const MlpSurrogate restored = MlpSurrogate::load(path);
-  EXPECT_TRUE(restored.fitted());
-  EXPECT_EQ(restored.name(), original.name());
+  const std::unique_ptr<TrainableSurrogate> restored = load_surrogate(path);
+  EXPECT_TRUE(restored->fitted());
+  EXPECT_EQ(restored->name(), original.name());
+  EXPECT_EQ(restored->kind(), "mlp");
+  EXPECT_EQ(restored->encoder_key(), "fcc");
   for (const ArchConfig& arch : data.test_archs) {
-    EXPECT_DOUBLE_EQ(restored.predict_ms(arch), original.predict_ms(arch));
+    EXPECT_DOUBLE_EQ(restored->predict_ms(arch), original.predict_ms(arch));
   }
   std::remove(path.c_str());
 }
@@ -140,7 +143,8 @@ TEST(MlpSurrogateTest, SaveLoadRoundTripPredictsIdentically) {
 TEST(MlpSurrogateTest, SaveUnfittedThrows) {
   MlpSurrogate s(make_encoder(EncodingKind::kFcc, resnet_spec()),
                  fast_train(), 1);
-  EXPECT_THROW(s.save(testing::TempDir() + "/never.txt"), ConfigError);
+  EXPECT_THROW(save_surrogate(s, testing::TempDir() + "/never.esm"),
+               ConfigError);
 }
 
 TEST(MlpSurrogateTest, LoadRejectsForeignArchive) {
@@ -150,7 +154,7 @@ TEST(MlpSurrogateTest, LoadRejectsForeignArchive) {
     writer.put_string("model", "something-else");
     writer.save(path);
   }
-  EXPECT_THROW(MlpSurrogate::load(path), ConfigError);
+  EXPECT_THROW(load_surrogate(path), ConfigError);
   std::remove(path.c_str());
 }
 
@@ -248,7 +252,7 @@ TEST(LutSurrogateTest, ProfilingChargesMeasurementCost) {
 // ------------------------------------------------------------- ensemble
 
 TEST(EnsembleSurrogateTest, RequiresTwoMembers) {
-  EXPECT_THROW(EnsembleSurrogate(EncodingKind::kFcc, resnet_spec(),
+  EXPECT_THROW(EnsembleSurrogate("fcc", resnet_spec(),
                                  fast_train(), 1, 1),
                ConfigError);
 }
@@ -256,7 +260,7 @@ TEST(EnsembleSurrogateTest, RequiresTwoMembers) {
 TEST(EnsembleSurrogateTest, MeanTracksMembersAndUncertaintyIsFinite) {
   const SupernetSpec spec = resnet_spec();
   const TestData data = make_data(spec, rtx4090_spec(), 400, 50, 51);
-  EnsembleSurrogate ensemble(EncodingKind::kFcc, spec, fast_train(), 3, 52);
+  EnsembleSurrogate ensemble("fcc", spec, fast_train(), 3, 52);
   EXPECT_FALSE(ensemble.fitted());
   ensemble.fit(data.train_archs, data.train_y);
   EXPECT_TRUE(ensemble.fitted());
@@ -284,7 +288,7 @@ TEST(EnsembleSurrogateTest, UncertaintyHigherOffDistribution) {
     train.push_back(arch);
     y.push_back(model.true_latency_ms(build_graph(spec, arch)));
   }
-  EnsembleSurrogate ensemble(EncodingKind::kFcc, spec, fast_train(), 4, 54);
+  EnsembleSurrogate ensemble("fcc", spec, fast_train(), 4, 54);
   ensemble.fit(train, y);
 
   double shallow_std = 0.0, deep_std = 0.0;
