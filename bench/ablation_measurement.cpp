@@ -27,8 +27,9 @@ LabeledSet measure_without_qc(const SupernetSpec& spec,
   std::size_t i = 0;
   for (const ArchConfig& arch : archs) {
     if (i++ % 200 == 0) device.begin_session();
-    const auto trace =
-        device.measure_trace_ms(build_graph(spec, arch));
+    MeasureOptions options;
+    options.keep_trace = true;
+    const auto trace = device.measure(build_graph(spec, arch), options).trace;
     set.add({arch, SimulatedDevice::summarize(trace, trim_fraction)});
   }
   return set;
@@ -97,7 +98,7 @@ int main(int argc, char** argv) {
       const std::size_t end = std::min(off + 500, train_archs.size());
       const std::vector<ArchConfig> chunk(train_archs.begin() + static_cast<long>(off),
                                           train_archs.begin() + static_cast<long>(end));
-      for (const MeasuredSample& s : generator.measure_batch(chunk)) {
+      for (const MeasuredSample& s : generator.measure_batch(chunk).samples) {
         train.add(s);
       }
     }

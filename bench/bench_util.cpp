@@ -37,7 +37,7 @@ LabeledSet generate_dataset(const SupernetSpec& spec, SimulatedDevice& device,
   while (remaining > 0) {
     const std::size_t take = std::min(kBatch, remaining);
     const auto archs = sampler->sample_n(take, sample_rng);
-    for (const MeasuredSample& s : generator.measure_batch(archs)) {
+    for (const MeasuredSample& s : generator.measure_batch(archs).samples) {
       set.add(s);
     }
     remaining -= take;

@@ -63,9 +63,9 @@ int main(int argc, char** argv) {
   BalancedSampler init_sampler(spec, cfg.n_bins);
   const auto initial =
       generator.measure_batch(init_sampler.sample_n(
-          static_cast<std::size_t>(n_initial), rng));
+          static_cast<std::size_t>(n_initial), rng)).samples;
   const auto test_set = generator.measure_batch(
-      init_sampler.sample_n(600, rng));
+      init_sampler.sample_n(600, rng)).samples;
 
   const BinwiseEvaluator evaluator(spec, cfg.n_bins, cfg.acc_threshold);
   RandomSampler candidate_sampler(spec);
@@ -131,7 +131,7 @@ int main(int argc, char** argv) {
           extension.push_back(pool[scored[static_cast<std::size_t>(i)].second]);
         }
       }
-      const auto measured = generator.measure_batch(extension);
+      const auto measured = generator.measure_batch(extension).samples;
       policy.train.insert(policy.train.end(), measured.begin(),
                           measured.end());
     }

@@ -47,8 +47,10 @@ int main(int argc, char** argv) {
       if (i % 300 == 0) device.begin_session();
       const ArchConfig arch = sampler.sample(rng);
       const LayerGraph g = build_graph(spec, arch);
-      const double energy = device.measure_energy_mj(g);
-      const double latency = device.measure_ms(g);
+      MeasureOptions energy_options;
+      energy_options.quantity = MeasureQuantity::kEnergyMj;
+      const double energy = device.measure(g, energy_options).value;
+      const double latency = device.measure(g).value;
       if (i < n_train) {
         energy_train.add({arch, energy});
         latency_train.add({arch, latency});

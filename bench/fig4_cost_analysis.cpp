@@ -24,6 +24,9 @@ int main(int argc, char** argv) {
   args.add_int("models", 20, "models to measure for the cost average");
   args.add_int("train", 8000, "training-set size for the timing run");
   args.add_int("epochs", 150, "training epochs");
+  args.add_string("fault-profile", "none",
+                  "also show acquisition cost under this fault profile "
+                  "(preset or key=value pairs)");
   if (!args.parse(argc, argv)) return 0;
 
   const SupernetSpec spec = resnet_spec();
@@ -36,7 +39,7 @@ int main(int argc, char** argv) {
   device.reset_measurement_cost();
   for (int i = 0; i < n_models; ++i) {
     device.begin_session();
-    (void)device.measure_ms(build_graph(spec, sampler.sample(rng)));
+    (void)device.measure(build_graph(spec, sampler.sample(rng)));
   }
   const double per_model_s =
       device.measurement_cost_seconds() / static_cast<double>(n_models);
@@ -72,6 +75,47 @@ int main(int argc, char** argv) {
                "training -> data acquisition dominates,\nmotivating the "
                "train-evaluate-extend loop with early exit.\n";
 
+  // Optional: the same acquisition under an unreliable device. Retries and
+  // backoff are charged in simulated seconds, so the per-sample cost rises
+  // visibly. Printed only for a nonzero profile, keeping the default run
+  // byte-identical to the fault-free bench.
+  const FaultProfile fault_profile =
+      parse_fault_profile(args.get_string("fault-profile"));
+  if (fault_profile.any()) {
+    SimulatedDevice faulty(rtx4090_spec(), 11);
+    EsmConfig fault_cfg = dataset_config(spec);
+    fault_cfg.faults = fault_profile;
+    Rng gen_rng(12);
+    DatasetGenerator generator(fault_cfg, faulty, gen_rng.split());
+    RandomSampler fault_sampler(spec);
+    Rng arch_rng(13);
+    const BatchResult batch = generator.measure_batch(
+        fault_sampler.sample_n(static_cast<std::size_t>(n_models), arch_rng));
+    const double per_sample =
+        batch.report.measured == 0
+            ? 0.0
+            : batch.report.cost_seconds /
+                  static_cast<double>(batch.report.measured);
+    print_banner(std::cout, "Fig. 4a addendum: acquisition cost under "
+                            "faults (profile: " +
+                                args.get_string("fault-profile") + ")");
+    TablePrinter fault_costs({"metric", "value"});
+    fault_costs.add_row({"samples measured / requested",
+                         std::to_string(batch.report.measured) + " / " +
+                             std::to_string(batch.report.requested)});
+    fault_costs.add_row({"retries / timeouts / read errors",
+                         std::to_string(batch.report.retries) + " / " +
+                             std::to_string(batch.report.timeouts) + " / " +
+                             std::to_string(batch.report.read_errors)});
+    fault_costs.add_row({"per-sample cost, fault-free (simulated s)",
+                         format_double(per_model_s, 2)});
+    fault_costs.add_row({"per-sample cost with retries (simulated s)",
+                         format_double(per_sample, 2)});
+    fault_costs.add_row({"  of which backoff (simulated s, whole batch)",
+                         format_double(batch.report.backoff_seconds, 2)});
+    fault_costs.print(std::cout);
+  }
+
   // --- (b) per-run fluctuation ----------------------------------------
   print_banner(std::cout, "Fig. 4b: latency across inferences (every 10th "
                           "of 150 runs)");
@@ -82,7 +126,9 @@ int main(int argc, char** argv) {
   for (int c = 0; c < 3; ++c) {
     device.begin_session();
     const LayerGraph g = build_graph(spec, sampler.sample(rng));
-    traces.push_back(device.measure_trace_ms(g));
+    MeasureOptions trace_options;
+    trace_options.keep_trace = true;
+    traces.push_back(device.measure(g, trace_options).trace);
     trimmed.push_back(SimulatedDevice::summarize(traces.back(), 0.2));
   }
   for (std::size_t run = 0; run < traces[0].size(); run += 10) {

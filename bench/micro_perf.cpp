@@ -74,7 +74,7 @@ void BM_MeasureProtocol(benchmark::State& state) {
   Rng rng(5);
   const LayerGraph g = build_graph(spec, sampler.sample(rng));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(device.measure_ms(g));
+    benchmark::DoNotOptimize(device.measure(g).value);
   }
 }
 BENCHMARK(BM_MeasureProtocol);
@@ -209,8 +209,8 @@ bench::ParallelBenchRecord bench_measure_batch(std::size_t batch,
     DatasetGenerator generator(cfg, device, Rng(29));
     set_thread_count(n_threads);
     std::vector<MeasuredSample> samples;
-    const double ns =
-        time_best_ns(1, [&] { samples = generator.measure_batch(archs); });
+    const double ns = time_best_ns(
+        1, [&] { samples = generator.measure_batch(archs).samples; });
     set_thread_count(1);
     std::vector<double> values;
     values.reserve(samples.size());

@@ -13,18 +13,28 @@
 //             measured latencies on a simulated device.
 //   search    load an artifact and run latency-constrained evolutionary
 //             NAS under --budget-ms.
+//   measure   run the fault-tolerant measurement pipeline on a device and
+//             print the DatasetReport (samples measured, retries,
+//             quarantined architectures, simulated cost). Architectures
+//             come from --archs FILE (one per line, comma-separated
+//             per-unit depths like "3,5,2,7") or are sampled (--count).
 //
 // Examples:
 //   esm_cli train --surrogate gbdt --encoder fcc -o /tmp/m.esm
 //   esm_cli predict /tmp/m.esm --count 10
 //   esm_cli eval /tmp/m.esm --device rtx4090
 //   esm_cli search /tmp/m.esm --budget-ms 3.5
+//   esm_cli measure --device rpi4 --count 50 --fault-profile flaky
+//           --retries 4 --report-json /tmp/report.json
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/argparse.hpp"
+#include "common/error.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "esm/framework.hpp"
@@ -162,7 +172,7 @@ int run_eval(const esm::ArgParser& args) {
   const std::vector<esm::ArchConfig> archs = sampler.sample_n(
       static_cast<std::size_t>(config.n_test), sample_rng);
   const std::vector<esm::MeasuredSample> test_set =
-      generator.measure_batch(archs);
+      generator.measure_batch(archs).samples;
 
   const esm::BinwiseEvaluator evaluator(spec, config.n_bins,
                                         config.acc_threshold);
@@ -229,6 +239,135 @@ int run_search(const esm::ArgParser& args) {
   return 0;
 }
 
+/// Loads architectures from a text file: one per line, comma-separated
+/// per-unit depths ("3,5,2,7"); blank lines and '#' comments are skipped.
+/// Blocks take the space's first kernel/expansion option — the format
+/// targets the depth dimension, which is what binning and QC care about.
+std::vector<esm::ArchConfig> load_arch_file(const esm::SupernetSpec& spec,
+                                            const std::string& path) {
+  std::ifstream in(path);
+  ESM_REQUIRE(in.good(), "cannot open arch file " << path);
+  const int kernel = spec.kernel_options.front();
+  const double expansion =
+      spec.expansion_options.empty() ? 1.0 : spec.expansion_options.front();
+  std::vector<esm::ArchConfig> archs;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    esm::ArchConfig arch;
+    arch.kind = spec.kind;
+    std::istringstream fields(line);
+    std::string field;
+    while (std::getline(fields, field, ',')) {
+      int depth = 0;
+      try {
+        depth = std::stoi(field);
+      } catch (const std::exception&) {
+        ESM_REQUIRE(false, path << ":" << line_no << ": '" << field
+                                << "' is not a depth");
+      }
+      esm::UnitConfig unit;
+      unit.blocks.assign(static_cast<std::size_t>(depth), {kernel, expansion});
+      arch.units.push_back(std::move(unit));
+    }
+    spec.validate(arch);
+    archs.push_back(std::move(arch));
+  }
+  ESM_REQUIRE(!archs.empty(), "arch file " << path << " holds no architectures");
+  return archs;
+}
+
+int run_measure(const esm::ArgParser& args) {
+  const esm::SupernetSpec spec =
+      esm::spec_by_name(args.get_string("supernet"));
+  const esm::DeviceSpec device_spec =
+      esm::device_by_name(args.get_string("device"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  esm::SimulatedDevice device(device_spec, seed);
+
+  esm::EsmConfig config;
+  config.spec = spec;
+  config.seed = seed;
+  config.faults = esm::parse_fault_profile(args.get_string("fault-profile"));
+  config.retry.max_attempts = static_cast<int>(args.get_int("retries"));
+  config.validate();
+
+  std::vector<esm::ArchConfig> archs;
+  if (!args.get_string("archs").empty()) {
+    archs = load_arch_file(spec, args.get_string("archs"));
+  } else {
+    esm::Rng arch_rng(seed ^ 0x7e57a5c5ull);
+    esm::RandomSampler sampler(spec);
+    archs = sampler.sample_n(static_cast<std::size_t>(args.get_int("count")),
+                             arch_rng);
+  }
+
+  std::cout << "Measuring " << archs.size() << " " << spec.name
+            << " architecture(s) on " << device_spec.name
+            << " (fault profile: " << args.get_string("fault-profile")
+            << ", " << config.retry.max_attempts << " attempt(s)).\n";
+  esm::Rng rng(seed);
+  esm::DatasetGenerator generator(config, device, rng.split());
+  const esm::BatchResult batch = generator.measure_batch(archs);
+
+  esm::TablePrinter samples({"architecture (depths)", "latency (ms)"});
+  for (const esm::MeasuredSample& s : batch.samples) {
+    std::vector<std::string> depths;
+    for (int d : s.arch.depths()) depths.push_back(std::to_string(d));
+    samples.add_row({"[" + esm::join(depths, ",") + "]",
+                     esm::format_double(s.latency_ms, 3)});
+  }
+  samples.print(std::cout);
+
+  const esm::DatasetReport& report = batch.report;
+  esm::TablePrinter table({"dataset report", "value"});
+  table.add_row({"requested", std::to_string(report.requested)});
+  table.add_row({"measured", std::to_string(report.measured)});
+  table.add_row({"quarantined", std::to_string(report.quarantined)});
+  table.add_row(
+      {"skipped (quarantined)", std::to_string(report.skipped_quarantined)});
+  table.add_row({"device sessions", std::to_string(report.sessions)});
+  table.add_row({"retries", std::to_string(report.retries)});
+  table.add_row({"timeouts", std::to_string(report.timeouts)});
+  table.add_row({"device losses", std::to_string(report.device_losses)});
+  table.add_row({"read errors", std::to_string(report.read_errors)});
+  table.add_row({"QC passed", report.qc_passed ? "yes" : "no"});
+  table.add_row(
+      {"simulated cost (s)", esm::format_double(report.cost_seconds, 2)});
+  table.add_row({"  of which backoff (s)",
+                 esm::format_double(report.backoff_seconds, 2)});
+  table.print(std::cout);
+
+  const std::string json_path = args.get_string("report-json");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    ESM_REQUIRE(out.good(), "cannot open " << json_path << " for writing");
+    out << "{\n"
+        << "  \"requested\": " << report.requested << ",\n"
+        << "  \"measured\": " << report.measured << ",\n"
+        << "  \"quarantined\": " << report.quarantined << ",\n"
+        << "  \"skipped_quarantined\": " << report.skipped_quarantined
+        << ",\n"
+        << "  \"sessions\": " << report.sessions << ",\n"
+        << "  \"retries\": " << report.retries << ",\n"
+        << "  \"timeouts\": " << report.timeouts << ",\n"
+        << "  \"device_losses\": " << report.device_losses << ",\n"
+        << "  \"read_errors\": " << report.read_errors << ",\n"
+        << "  \"qc_passed\": " << (report.qc_passed ? "true" : "false")
+        << ",\n"
+        << "  \"cost_seconds\": " << report.cost_seconds << ",\n"
+        << "  \"backoff_seconds\": " << report.backoff_seconds << "\n"
+        << "}\n";
+    std::cout << "Wrote JSON report to " << json_path << "\n";
+  }
+  // Exit 2 when the pipeline had to give up on any architecture.
+  return report.measured == report.requested ? 0 : 2;
+}
+
 /// Rewrites `subcommand [args...]` into plain flags the parser accepts:
 /// the subcommand selects the action, "-o" is shorthand for "--model", and
 /// a bare path positional becomes the --model value.
@@ -267,8 +406,8 @@ std::vector<const char*> normalize_args(int argc, char** argv,
 
 int main(int argc, char** argv) {
   esm::ArgParser args(
-      "esm_cli <train|predict|eval|search>: train, query, score, and search "
-      "with ESM surrogate artifacts.");
+      "esm_cli <train|predict|eval|search|measure>: train, query, score, "
+      "search, and measure with ESM surrogate artifacts.");
   args.add_string("model", "/tmp/esm_model.esm", "surrogate artifact path");
   args.add_string("surrogate", "mlp",
                   "surrogate (train): mlp|lut|gbdt|ensemble");
@@ -286,8 +425,19 @@ int main(int argc, char** argv) {
   args.add_int("n-bins", 5, "N_Bins (train/eval)");
   args.add_double("acc-th", 0.95, "Acc_TH (train/eval)");
   args.add_int("max-iters", 20, "iteration budget (train)");
-  args.add_int("count", 10, "architectures to price (train/predict/eval)");
+  args.add_int("count", 10,
+               "architectures to price/measure (train/predict/eval/measure)");
   args.add_double("budget-ms", 3.0, "latency budget (search)");
+  args.add_string("archs", "",
+                  "arch file (measure): one comma-separated depth list per "
+                  "line, e.g. 3,5,2,7");
+  args.add_string("fault-profile", "none",
+                  "fault profile (measure): none|flaky|harsh or key=value "
+                  "pairs");
+  args.add_int("retries", 3,
+               "measurement attempts per sample incl. the first (measure)");
+  args.add_string("report-json", "",
+                  "write the DatasetReport as JSON here (measure)");
   args.add_int("seed", 42, "seed");
 
   std::string subcommand;
@@ -303,8 +453,10 @@ int main(int argc, char** argv) {
     if (subcommand == "predict") return run_predict(args);
     if (subcommand == "eval") return run_eval(args);
     if (subcommand == "search") return run_search(args);
+    if (subcommand == "measure") return run_measure(args);
     std::fputs(args.usage().c_str(), stdout);
-    std::fputs("\nPick one of: train, predict, eval, search.\n", stdout);
+    std::fputs("\nPick one of: train, predict, eval, search, measure.\n",
+               stdout);
     return 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -3,7 +3,9 @@
 #
 #   scripts/ci.sh         fast tier: build + sub-minute `ctest -L fast`
 #   scripts/ci.sh full    fast tier, then the remaining (slow) suites, then
-#                         an ASan build running the surrogate + esm suites
+#                         an ASan build running the surrogate + esm suites,
+#                         then a TSan build running the fault + parallel
+#                         suites (fault retries exercise parallel_map)
 #
 # Thread-count invariance is covered inside the suites themselves
 # (parallel_test pins 1-thread vs 8-thread bit-identity), so CI only needs
@@ -36,5 +38,12 @@ cmake --build build-asan -j "$JOBS" \
   --target surrogate_test surrogate_registry_test esm_test
 ctest --test-dir build-asan --output-on-failure \
   -R '^(surrogate_test|surrogate_registry_test|esm_test)$'
+
+echo "== tsan tier (fault + parallel suites) =="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DESM_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target fault_test parallel_test
+ctest --test-dir build-tsan --output-on-failure \
+  -R '^(fault_test|parallel_test)$'
 
 echo "CI full tier passed."

@@ -49,6 +49,8 @@ void EsmConfig::validate() const {
   ESM_REQUIRE(qc_max_attempts >= 1, "config: QC needs >= 1 attempt");
   ESM_REQUIRE(qc_baseline_sessions >= 1,
               "config: QC baselines need >= 1 session");
+  faults.validate();
+  retry.validate();
   ESM_REQUIRE(threads >= 0, "config: threads must be >= 0 (0 = ESM_THREADS)");
 }
 

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <string>
 
+#include "esm/retry.hpp"
+#include "hwsim/faults.hpp"
 #include "ml/trainer.hpp"
 #include "nets/sampler.hpp"
 #include "nets/supernet.hpp"
@@ -42,6 +44,15 @@ struct EsmConfig {
   double qc_variance_limit = 0.03;  ///< the paper's 3 % boundary
   int qc_max_attempts = 6;       ///< re-measure attempts before accepting
   int qc_baseline_sessions = 3;  ///< sessions used to establish baselines
+
+  // --- measurement fault tolerance ---
+  /// Fault profile installed on the device by DatasetGenerator. The default
+  /// (all-zero) profile injects nothing and leaves every output
+  /// bit-identical; parse_fault_profile() accepts preset names ("flaky",
+  /// "harsh") or key=value pairs.
+  FaultProfile faults;
+  /// Retry/backoff behavior for failed measurement attempts.
+  RetryPolicy retry;
 
   // --- predictor training ---
   TrainConfig train;             ///< paper defaults: 3x64 MLP, Adam 0.01/1e-4

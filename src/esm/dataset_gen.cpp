@@ -6,14 +6,31 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/stats.hpp"
+#include "esm/retry.hpp"
 #include "nets/sampler.hpp"
 
 namespace esm {
+namespace {
+
+/// Substream tags for retry machinery, derived from a task's first-attempt
+/// noise stream without advancing it. Retry attempt `a` (1-based) measures
+/// on split(kRetryNoiseStream + a) and draws its backoff jitter from
+/// split(kBackoffStream + a), so enabling retries perturbs neither the
+/// first attempt nor any other task.
+constexpr std::uint64_t kRetryNoiseStream = 0x52e7291e5ull;
+constexpr std::uint64_t kBackoffStream = 0xbac0ff5e77ull;
+
+}  // namespace
 
 DatasetGenerator::DatasetGenerator(const EsmConfig& config,
                                    SimulatedDevice& device, Rng rng)
     : config_(config), device_(&device), rng_(rng) {
   config_.validate();
+
+  // The config's fault profile (if any) governs the device from the first
+  // baseline session on; a config without faults leaves whatever profile
+  // the device already carries untouched.
+  if (config_.faults.any()) device_->set_fault_profile(config_.faults);
 
   // Reference models are drawn randomly from the space (paper §II-C.2).
   RandomSampler sampler(config_.spec);
@@ -24,34 +41,108 @@ DatasetGenerator::DatasetGenerator(const EsmConfig& config,
   for (const ArchConfig& arch : references_) {
     reference_graphs_.push_back(build_graph(config_.spec, arch));
   }
+  establish_baselines();
+}
 
+void DatasetGenerator::establish_baselines() {
   // Establish per-reference baselines as the median over several sessions,
   // so a single bad session cannot poison the baseline. References within
-  // a session are measured concurrently, each on its own noise substream.
-  std::vector<std::vector<double>> sessions(references_.size());
+  // a session are measured concurrently, each on its own noise substream;
+  // failed attempts are retried like batch measurements, and a reference
+  // that never yields a value falls back to its noise-free latency rather
+  // than blocking construction.
+  const std::size_t n_refs = reference_graphs_.size();
+  std::vector<std::vector<double>> sessions(n_refs);
   for (int s = 0; s < config_.qc_baseline_sessions; ++s) {
     device_->begin_session();
     const Rng session_rng = rng_.split();
-    const auto measured = parallel_map(
-        reference_graphs_.size(),
-        [&](std::size_t i) {
-          return device_->measure_ms_stream(
-              reference_graphs_[i],
-              session_rng.split(static_cast<std::uint64_t>(i)));
-        });
-    for (std::size_t i = 0; i < measured.size(); ++i) {
-      sessions[i].push_back(measured[i].value_ms);
-      device_->add_measurement_cost(measured[i].cost_seconds);
+    int budget = config_.retry.batch_retry_budget;
+    std::vector<TaskPlan> plans;
+    plans.reserve(n_refs);
+    for (std::size_t i = 0; i < n_refs; ++i) {
+      plans.push_back(plan_task(session_rng, i, n_refs, budget));
+    }
+    const auto results = parallel_map(n_refs, [&](std::size_t i) {
+      return run_task(reference_graphs_[i], plans[i], i, n_refs);
+    });
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      device_->add_measurement_cost(results[i].attempt_cost_s);
+      const Rng task_rng =
+          session_rng.split(static_cast<std::uint64_t>(i));
+      for (std::size_t a = 1; a < plans[i].attempt_noise.size(); ++a) {
+        device_->add_measurement_cost(retry_backoff_seconds(
+            config_.retry, static_cast<int>(a),
+            task_rng.split(kBackoffStream + a)));
+      }
+      if (results[i].final.ok()) {
+        sessions[i].push_back(results[i].final.value);
+      }
     }
   }
-  baselines_.reserve(references_.size());
-  for (const auto& values : sessions) {
-    baselines_.push_back(median(values));
+  baselines_.reserve(n_refs);
+  for (std::size_t i = 0; i < n_refs; ++i) {
+    baselines_.push_back(sessions[i].empty()
+                             ? device_->true_latency_ms(reference_graphs_[i])
+                             : median(sessions[i]));
   }
 }
 
-std::vector<MeasuredSample> DatasetGenerator::run_session(
-    const std::vector<ArchConfig>& archs, QcReport& report) {
+DatasetGenerator::TaskPlan DatasetGenerator::plan_task(const Rng& session_rng,
+                                                       std::size_t slot,
+                                                       std::size_t n_tasks,
+                                                       int& budget) const {
+  TaskPlan plan;
+  const Rng task_rng = session_rng.split(static_cast<std::uint64_t>(slot));
+  plan.attempt_noise.push_back(task_rng);
+
+  MeasureOptions options;
+  options.session_slot = static_cast<int>(slot);
+  options.session_tasks = static_cast<int>(n_tasks);
+  options.noise = task_rng;
+  MeasureOutcome outcome = device_->fault_outcome(options);
+  // Timeouts and read errors are transient; a lost device stays lost for
+  // the rest of the session, so retrying it in-session is pointless — the
+  // failure escalates to the QC re-measure loop instead.
+  int retry = 1;
+  while (outcome != MeasureOutcome::kOk &&
+         outcome != MeasureOutcome::kDeviceLost &&
+         retry < config_.retry.max_attempts && budget > 0) {
+    --budget;
+    const Rng retry_noise =
+        task_rng.split(kRetryNoiseStream + static_cast<std::uint64_t>(retry));
+    plan.attempt_noise.push_back(retry_noise);
+    options.noise = retry_noise;
+    outcome = device_->fault_outcome(options);
+    ++retry;
+  }
+  return plan;
+}
+
+DatasetGenerator::TaskResult DatasetGenerator::run_task(
+    const LayerGraph& graph, const TaskPlan& plan, std::size_t slot,
+    std::size_t n_tasks) const {
+  TaskResult result;
+  for (const Rng& noise : plan.attempt_noise) {
+    MeasureOptions options;
+    options.session_slot = static_cast<int>(slot);
+    options.session_tasks = static_cast<int>(n_tasks);
+    options.noise = noise;
+    MeasureResult attempt = device_->measure(graph, options);
+    result.attempt_cost_s += attempt.cost_seconds;
+    switch (attempt.outcome) {
+      case MeasureOutcome::kTimeout: ++result.timeouts; break;
+      case MeasureOutcome::kDeviceLost: ++result.device_losses; break;
+      case MeasureOutcome::kReadError: ++result.read_errors; break;
+      case MeasureOutcome::kOk: break;
+    }
+    result.final = std::move(attempt);
+    if (result.final.ok()) break;
+  }
+  return result;
+}
+
+DatasetGenerator::SessionOutcome DatasetGenerator::run_session(
+    const std::vector<ArchConfig>& archs, int& budget) {
   device_->begin_session();
 
   // All measurements of the session fan out concurrently, each on a noise
@@ -64,45 +155,86 @@ std::vector<MeasuredSample> DatasetGenerator::run_session(
   const std::size_t n_refs = reference_graphs_.size();
   const std::size_t n_tasks = 2 * n_refs + archs.size();
   const Rng session_rng = rng_.split();
+
+  // Retry planning is serial and happens before the fan-out: fault
+  // outcomes depend only on session state and substreams, so the plan is
+  // the same at every thread count, and the shared retry budget is drawn
+  // down in deterministic task order.
+  std::vector<TaskPlan> plans;
+  plans.reserve(n_tasks);
+  for (std::size_t t = 0; t < n_tasks; ++t) {
+    plans.push_back(plan_task(session_rng, t, n_tasks, budget));
+  }
+
   const auto measured = parallel_map(n_tasks, [&](std::size_t t) {
-    const Rng noise = session_rng.split(static_cast<std::uint64_t>(t));
     if (t < n_refs) {
-      return device_->measure_ms_stream(reference_graphs_[t], noise);
+      return run_task(reference_graphs_[t], plans[t], t, n_tasks);
     }
     if (t < n_refs + archs.size()) {
       const LayerGraph graph =
           build_graph(config_.spec, archs[t - n_refs]);
-      return device_->measure_ms_stream(graph, noise);
+      return run_task(graph, plans[t], t, n_tasks);
     }
-    return device_->measure_ms_stream(
-        reference_graphs_[t - n_refs - archs.size()], noise);
+    return run_task(reference_graphs_[t - n_refs - archs.size()], plans[t],
+                    t, n_tasks);
   });
 
-  // Deterministic reductions, all in task-index order: cost accounting,
-  // reference deviations, then the batch samples.
-  for (const StreamMeasurement& m : measured) {
-    device_->add_measurement_cost(m.cost_seconds);
+  // Deterministic reductions, all in task-index order: cost accounting
+  // (attempts, then backoff), fault tallies, reference deviations, then
+  // the batch samples.
+  SessionOutcome outcome;
+  for (std::size_t t = 0; t < n_tasks; ++t) {
+    const TaskResult& r = measured[t];
+    device_->add_measurement_cost(r.attempt_cost_s);
+    const Rng task_rng = session_rng.split(static_cast<std::uint64_t>(t));
+    for (std::size_t a = 1; a < plans[t].attempt_noise.size(); ++a) {
+      const double backoff = retry_backoff_seconds(
+          config_.retry, static_cast<int>(a),
+          task_rng.split(kBackoffStream + a));
+      device_->add_measurement_cost(backoff);
+      outcome.backoff_seconds += backoff;
+    }
+    outcome.retries +=
+        static_cast<int>(plans[t].attempt_noise.size()) - 1;
+    outcome.timeouts += r.timeouts;
+    outcome.device_losses += r.device_losses;
+    outcome.read_errors += r.read_errors;
+    if (!r.final.ok()) ++outcome.report.failed_measurements;
   }
-  std::vector<double> deviations;
+
+  QcReport& report = outcome.report;
+  std::vector<double>& deviations = report.reference_deviation;
   deviations.reserve(2 * n_refs);
-  auto push_deviation = [&](std::size_t task, std::size_t ref) {
-    deviations.push_back(std::abs(measured[task].value_ms - baselines_[ref]) /
-                         baselines_[ref]);
+  // A reference that failed to measure is QC evidence of the worst kind:
+  // it cannot confirm the session, so it counts as an outlier.
+  auto push_reference = [&](std::size_t task, std::size_t ref) {
+    if (!measured[task].final.ok()) {
+      ++report.outliers;
+      return;
+    }
+    deviations.push_back(
+        std::abs(measured[task].final.value - baselines_[ref]) /
+        baselines_[ref]);
   };
-  for (std::size_t i = 0; i < n_refs; ++i) push_deviation(i, i);
+  for (std::size_t i = 0; i < n_refs; ++i) push_reference(i, i);
   for (std::size_t i = 0; i < n_refs; ++i) {
-    push_deviation(n_refs + archs.size() + i, i);
+    push_reference(n_refs + archs.size() + i, i);
   }
-  std::vector<MeasuredSample> samples;
-  samples.reserve(archs.size());
+
+  outcome.samples.reserve(archs.size());
   for (std::size_t i = 0; i < archs.size(); ++i) {
-    samples.push_back({archs[i], measured[n_refs + i].value_ms});
+    const TaskResult& r = measured[n_refs + i];
+    if (r.final.ok()) {
+      outcome.samples.push_back({archs[i], r.final.value});
+    } else {
+      outcome.failed.push_back(archs[i]);
+    }
   }
 
   // Outliers (Fig. 6): individual readings outside the boundary. They are
-  // excluded from the aggregate; QC fails when too many occur or the
-  // remaining aggregate still exceeds the boundary.
-  report.reference_deviation = deviations;
+  // excluded from the aggregate; QC fails when too many occur, when the
+  // remaining aggregate still exceeds the boundary, or when too many of
+  // the batch's own measurements failed outright.
   std::vector<double> in_tolerance;
   for (double d : deviations) {
     if (d <= config_.qc_variance_limit) {
@@ -111,32 +243,76 @@ std::vector<MeasuredSample> DatasetGenerator::run_session(
       ++report.outliers;
     }
   }
+  const std::size_t n_checks = 2 * n_refs;
   const double outlier_fraction =
-      deviations.empty()
-          ? 0.0
-          : static_cast<double>(report.outliers) /
-                static_cast<double>(deviations.size());
+      n_checks == 0 ? 0.0
+                    : static_cast<double>(report.outliers) /
+                          static_cast<double>(n_checks);
   report.reference_cv = in_tolerance.empty()
-                            ? (deviations.empty() ? 0.0 : 1.0)
+                            ? (n_checks == 0 ? 0.0 : 1.0)
                             : mean(in_tolerance);
+  const double failed_fraction =
+      archs.empty() ? 0.0
+                    : static_cast<double>(outcome.failed.size()) /
+                          static_cast<double>(archs.size());
   report.passed = outlier_fraction <= 0.25 &&
-                  report.reference_cv <= config_.qc_variance_limit;
-  return samples;
+                  report.reference_cv <= config_.qc_variance_limit &&
+                  failed_fraction <= 0.25;
+  return outcome;
 }
 
-std::vector<MeasuredSample> DatasetGenerator::measure_batch(
+BatchResult DatasetGenerator::measure_batch(
     const std::vector<ArchConfig>& archs) {
-  QcReport report;
-  std::vector<MeasuredSample> samples;
-  for (int attempt = 1; attempt <= config_.qc_max_attempts; ++attempt) {
-    QcReport attempt_report;
-    samples = run_session(archs, attempt_report);
-    report = attempt_report;
-    report.attempts = attempt;
-    if (report.passed) break;
+  BatchResult out;
+  out.report.requested = archs.size();
+
+  std::vector<ArchConfig> todo;
+  todo.reserve(archs.size());
+  for (const ArchConfig& arch : archs) {
+    if (quarantine_.count(arch.to_string()) != 0) {
+      ++out.report.skipped_quarantined;
+    } else {
+      todo.push_back(arch);
+    }
   }
-  qc_history_.push_back(report);
-  return samples;
+  if (todo.empty()) {
+    // Nothing measurable (empty request or fully quarantined): no session,
+    // no QC entry.
+    return out;
+  }
+
+  const double cost_before = device_->measurement_cost_seconds();
+  int budget = config_.retry.batch_retry_budget;
+  SessionOutcome kept;
+  for (int attempt = 1; attempt <= config_.qc_max_attempts; ++attempt) {
+    kept = run_session(todo, budget);
+    kept.report.attempts = attempt;
+    ++out.report.sessions;
+    out.report.retries += kept.retries;
+    out.report.timeouts += kept.timeouts;
+    out.report.device_losses += kept.device_losses;
+    out.report.read_errors += kept.read_errors;
+    out.report.backoff_seconds += kept.backoff_seconds;
+    if (kept.report.passed) break;
+  }
+  qc_history_.push_back(kept.report);
+  out.qc = kept.report;
+  out.samples = std::move(kept.samples);
+
+  // Architectures that still failed in the kept session have exhausted
+  // their chances for this batch; quarantine them so later batches do not
+  // burn budget on them again.
+  for (const ArchConfig& arch : kept.failed) {
+    if (quarantine_.insert(arch.to_string()).second) {
+      ++out.report.quarantined;
+    }
+  }
+
+  out.report.measured = out.samples.size();
+  out.report.qc_passed = kept.report.passed;
+  out.report.cost_seconds =
+      device_->measurement_cost_seconds() - cost_before;
+  return out;
 }
 
 }  // namespace esm

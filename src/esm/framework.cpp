@@ -57,7 +57,7 @@ EsmResult EsmFramework::run_impl(
       BalancedSampler test_sampler(config_.spec, config_.n_bins);
       const std::vector<ArchConfig> test_archs = test_sampler.sample_n(
           static_cast<std::size_t>(config_.n_test), test_rng);
-      result.test_set = generator.measure_batch(test_archs);
+      result.test_set = generator.measure_batch(test_archs).samples;
     }
   }
 
@@ -68,7 +68,7 @@ EsmResult EsmFramework::run_impl(
         make_sampler(config_.spec, config_.strategy, config_.n_bins);
     const std::vector<ArchConfig> initial = sampler->sample_n(
         static_cast<std::size_t>(config_.n_initial), sample_rng);
-    result.train_set = generator.measure_batch(initial);
+    result.train_set = generator.measure_batch(initial).samples;
   }
 
   const BinwiseEvaluator evaluator(config_.spec, config_.n_bins,
@@ -119,7 +119,8 @@ EsmResult EsmFramework::run_impl(
     // Extend the dataset (Algorithm 1) and measure the new samples.
     const std::vector<ArchConfig> extension =
         extend_dataset(config_, report.eval, sample_rng);
-    std::vector<MeasuredSample> extra = generator.measure_batch(extension);
+    std::vector<MeasuredSample> extra =
+        generator.measure_batch(extension).samples;
     archs.reserve(archs.size() + extra.size());
     latencies.reserve(latencies.size() + extra.size());
     for (const MeasuredSample& s : extra) {

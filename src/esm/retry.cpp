@@ -1,0 +1,32 @@
+#include "esm/retry.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace esm {
+
+void RetryPolicy::validate() const {
+  ESM_REQUIRE(max_attempts >= 1, "retry policy: max_attempts must be >= 1");
+  ESM_REQUIRE(backoff_base_s >= 0.0,
+              "retry policy: backoff_base_s must be >= 0");
+  ESM_REQUIRE(backoff_multiplier >= 1.0,
+              "retry policy: backoff_multiplier must be >= 1");
+  ESM_REQUIRE(backoff_jitter >= 0.0 && backoff_jitter <= 1.0,
+              "retry policy: backoff_jitter must be in [0, 1]");
+  ESM_REQUIRE(batch_retry_budget >= 0,
+              "retry policy: batch_retry_budget must be >= 0");
+}
+
+double retry_backoff_seconds(const RetryPolicy& policy, int retry_index,
+                             Rng jitter_rng) {
+  ESM_REQUIRE(retry_index >= 1, "retry_backoff_seconds: retry_index >= 1");
+  const double base =
+      policy.backoff_base_s *
+      std::pow(policy.backoff_multiplier,
+               static_cast<double>(retry_index - 1));
+  const double u = 2.0 * jitter_rng.uniform() - 1.0;
+  return base * (1.0 + policy.backoff_jitter * u);
+}
+
+}  // namespace esm

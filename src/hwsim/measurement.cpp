@@ -1,15 +1,28 @@
 #include "hwsim/measurement.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
 
 namespace esm {
+namespace {
+
+/// Substream tag for the session fault regime, derived from the device
+/// stream without advancing it (zero-profile sessions stay bit-identical).
+constexpr std::uint64_t kSessionFaultStream = 0x5e5510f0ull;
+
+}  // namespace
 
 SimulatedDevice::SimulatedDevice(DeviceSpec spec, std::uint64_t seed,
-                                 MeasurementProtocol protocol)
-    : model_(spec), energy_(spec), protocol_(protocol), rng_(seed) {
+                                 MeasurementProtocol protocol,
+                                 FaultProfile faults)
+    : model_(spec),
+      energy_(spec),
+      protocol_(protocol),
+      injector_(faults),
+      rng_(seed) {
   ESM_REQUIRE(protocol_.runs >= 1, "measurement protocol needs >= 1 run");
   ESM_REQUIRE(protocol_.trim_fraction >= 0.0 && protocol_.trim_fraction < 0.5,
               "trim_fraction must be in [0, 0.5)");
@@ -37,10 +50,13 @@ void SimulatedDevice::begin_session() {
   // (Ornstein-Uhlenbeck) deviation, much wider in bad sessions.
   walk_sigma_ = session_is_bad_ ? 0.0030 : 0.0006;
   walk_deviation_ = 0.0;
+  // The fault regime rides a non-advancing substream: the drift draws above
+  // (and every later measurement draw) are independent of the fault profile.
+  session_faults_ = injector_.begin_session(rng_.split(kSessionFaultStream));
 }
 
-double SimulatedDevice::one_run_ms(double true_ms, int run_index) {
-  return one_run_with(true_ms, run_index, rng_, walk_deviation_);
+void SimulatedDevice::set_fault_profile(const FaultProfile& profile) {
+  injector_.set_profile(profile);
 }
 
 double SimulatedDevice::one_run_with(double true_ms, int run_index, Rng& rng,
@@ -63,44 +79,104 @@ double SimulatedDevice::one_run_with(double true_ms, int run_index, Rng& rng,
   return std::max(value, 1e-6);
 }
 
-StreamMeasurement SimulatedDevice::measure_ms_stream(const LayerGraph& graph,
-                                                     Rng noise) const {
-  const double true_ms = model_.true_latency_ms(graph);
+MeasureResult SimulatedDevice::run_protocol(const LayerGraph& graph,
+                                            const MeasureOptions& options,
+                                            Rng& rng,
+                                            double& walk_deviation) const {
   const DeviceSpec& d = spec();
-  StreamMeasurement result;
-  for (int i = 0; i < protocol_.warmup_runs; ++i) {
-    result.cost_seconds += (true_ms + d.host_overhead_ms) / 1000.0;
+  // The fault decision is drawn from a non-advancing substream of `rng`
+  // BEFORE any measurement draw: surviving measurements see exactly the
+  // stream they would see with faults disabled.
+  const FaultDecision decision =
+      injector_.decide(session_faults_, options.session_slot,
+                       options.session_tasks, rng);
+  // A stuck clock stretches every inference; the factor is exactly 1.0
+  // outside a stuck regime, so the arithmetic below is bit-identical to the
+  // fault-free pipeline.
+  const double throttle = session_faults_.throttle_factor;
+  const double true_ms = model_.true_latency_ms(graph) * throttle;
+  const double value_basis = options.quantity == MeasureQuantity::kEnergyMj
+                                 ? energy_.true_energy_mj(graph) * throttle
+                                 : true_ms;
+  const double run_cost_floor_s = (true_ms + d.host_overhead_ms) / 1000.0;
+
+  MeasureResult result;
+  if (decision.outcome != MeasureOutcome::kOk) {
+    result.outcome = decision.outcome;
+    switch (decision.outcome) {
+      case MeasureOutcome::kTimeout:
+        // The watchdog fires after a fixed simulated deadline.
+        result.cost_seconds = injector_.profile().timeout_cost_s;
+        break;
+      case MeasureOutcome::kDeviceLost:
+        // The device was already gone; only host-side setup time is lost.
+        result.cost_seconds =
+            static_cast<double>(protocol_.warmup_runs) * run_cost_floor_s;
+        break;
+      case MeasureOutcome::kReadError:
+        // Warm-up plus the fraction of timed runs completed before the
+        // readback failed.
+        result.cost_seconds =
+            (static_cast<double>(protocol_.warmup_runs) +
+             decision.progress * static_cast<double>(protocol_.runs)) *
+            run_cost_floor_s;
+        break;
+      case MeasureOutcome::kOk:
+        break;
+    }
+    // Advance the stream so a sequential retry on the same device stream
+    // sees a fresh fault substream instead of replaying this failure.
+    (void)rng.split();
+    return result;
   }
-  // The clock walk starts at the session set point for every substream:
-  // the measurement depends only on the session state and `noise`.
-  double walk_deviation = 0.0;
+
+  // Warm-up inferences cost time but produce no samples.
+  for (int i = 0; i < protocol_.warmup_runs; ++i) {
+    result.cost_seconds += run_cost_floor_s;
+  }
   std::vector<double> trace;
   trace.reserve(static_cast<std::size_t>(protocol_.runs));
   for (int i = 0; i < protocol_.runs; ++i) {
-    const double run = one_run_with(true_ms, i, noise, walk_deviation);
+    const double run = one_run_with(value_basis, i, rng, walk_deviation);
     trace.push_back(run);
-    result.cost_seconds += (run + d.host_overhead_ms) / 1000.0;
+    // Latency runs are timed by their own noisy duration; energy readings
+    // ride the clock/thermal channel but the device still spends the
+    // (throttled) true latency per inference.
+    result.cost_seconds += options.quantity == MeasureQuantity::kLatencyMs
+                               ? (run + d.host_overhead_ms) / 1000.0
+                               : run_cost_floor_s;
   }
-  result.value_ms = summarize(trace, protocol_.trim_fraction);
+  result.value = summarize(trace, protocol_.trim_fraction);
+  if (options.keep_trace) result.trace = std::move(trace);
   return result;
 }
 
-std::vector<double> SimulatedDevice::measure_trace_ms(
-    const LayerGraph& graph) {
-  const double true_ms = model_.true_latency_ms(graph);
-  const DeviceSpec& d = spec();
-  // Warm-up inferences cost time but produce no samples.
-  for (int i = 0; i < protocol_.warmup_runs; ++i) {
-    cost_seconds_ += (true_ms + d.host_overhead_ms) / 1000.0;
+MeasureResult SimulatedDevice::measure_with_stream(
+    const LayerGraph& graph, const MeasureOptions& options) const {
+  // The clock walk starts at the session set point for every substream:
+  // the measurement depends only on the session state and the stream.
+  Rng noise = *options.noise;
+  double walk_deviation = 0.0;
+  return run_protocol(graph, options, noise, walk_deviation);
+}
+
+MeasureResult SimulatedDevice::measure(const LayerGraph& graph,
+                                       const MeasureOptions& options) {
+  if (options.noise.has_value()) {
+    return measure_with_stream(graph, options);
   }
-  std::vector<double> trace;
-  trace.reserve(static_cast<std::size_t>(protocol_.runs));
-  for (int i = 0; i < protocol_.runs; ++i) {
-    const double run = one_run_ms(true_ms, i);
-    trace.push_back(run);
-    cost_seconds_ += (run + d.host_overhead_ms) / 1000.0;
-  }
-  return trace;
+  MeasureResult result = run_protocol(graph, options, rng_, walk_deviation_);
+  cost_seconds_ += result.cost_seconds;
+  return result;
+}
+
+MeasureOutcome SimulatedDevice::fault_outcome(
+    const MeasureOptions& options) const {
+  const Rng& noise = options.noise.has_value() ? *options.noise : rng_;
+  return injector_
+      .decide(session_faults_, options.session_slot, options.session_tasks,
+              noise)
+      .outcome;
 }
 
 double SimulatedDevice::summarize(const std::vector<double>& trace,
@@ -108,26 +184,31 @@ double SimulatedDevice::summarize(const std::vector<double>& trace,
   return trimmed_mean(trace, trim_fraction);
 }
 
+// --- deprecated pre-unification entry points (this PR only) --------------
+
 double SimulatedDevice::measure_ms(const LayerGraph& graph) {
-  return summarize(measure_trace_ms(graph), protocol_.trim_fraction);
+  return measure(graph).value;
+}
+
+std::vector<double> SimulatedDevice::measure_trace_ms(
+    const LayerGraph& graph) {
+  MeasureOptions options;
+  options.keep_trace = true;
+  return measure(graph, options).trace;
+}
+
+StreamMeasurement SimulatedDevice::measure_ms_stream(const LayerGraph& graph,
+                                                     Rng noise) const {
+  MeasureOptions options;
+  options.noise = noise;
+  const MeasureResult result = measure_with_stream(graph, options);
+  return StreamMeasurement{result.value, result.cost_seconds};
 }
 
 double SimulatedDevice::measure_energy_mj(const LayerGraph& graph) {
-  const double true_mj = energy_.true_energy_mj(graph);
-  const double true_ms = model_.true_latency_ms(graph);
-  const DeviceSpec& d = spec();
-  for (int i = 0; i < protocol_.warmup_runs; ++i) {
-    cost_seconds_ += (true_ms + d.host_overhead_ms) / 1000.0;
-  }
-  std::vector<double> trace;
-  trace.reserve(static_cast<std::size_t>(protocol_.runs));
-  for (int i = 0; i < protocol_.runs; ++i) {
-    // Energy readings ride the same clock/thermal channel: a slow run draws
-    // for longer, so the multiplicative noise model carries over.
-    trace.push_back(one_run_ms(true_mj, i));
-    cost_seconds_ += (true_ms + d.host_overhead_ms) / 1000.0;
-  }
-  return summarize(trace, protocol_.trim_fraction);
+  MeasureOptions options;
+  options.quantity = MeasureQuantity::kEnergyMj;
+  return measure(graph, options).value;
 }
 
 }  // namespace esm

@@ -8,16 +8,25 @@
 // session factor; sessions occasionally go "bad" (sustained thermal/clock
 // drift), which is what the reference-model quality-control step detects.
 //
+// Measurements go through ONE entry point, measure(), which returns a
+// MeasureResult: the trimmed-mean value (latency or energy), an optional
+// per-run trace, the simulated wall-clock cost of acquiring it, and a
+// MeasureOutcome. With a FaultProfile installed (hwsim/faults.hpp) an
+// attempt can fail — timeout, mid-session dropout, transient read error —
+// and the failure is reported as a value, never as silent corruption.
+//
 // The device also accounts the *simulated wall-clock cost* of measuring
-// (per-run latency + host-side overhead), which powers the paper's
-// data-acquisition-cost analysis (Fig. 4a).
+// (per-run latency + host-side overhead, plus the cost of failed attempts),
+// which powers the paper's data-acquisition-cost analysis (Fig. 4a).
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "hwsim/energy_model.hpp"
+#include "hwsim/faults.hpp"
 #include "hwsim/latency_model.hpp"
 #include "nn/graph.hpp"
 
@@ -30,10 +39,46 @@ struct MeasurementProtocol {
   int warmup_runs = 5;         ///< untimed warm-up inferences per model
 };
 
-/// One measurement executed on an explicit noise substream: the latency
-/// value plus the simulated wall-clock cost it incurred. Costs are
-/// returned (not accumulated on the device) so concurrent measurements can
-/// be reduced in deterministic index order by the caller.
+/// What a measurement reads: per-inference latency or energy. Both ride the
+/// same warm-up + runs + trimmed-mean protocol and the same noise channel.
+enum class MeasureQuantity { kLatencyMs, kEnergyMj };
+
+/// Options for one measure() call.
+struct MeasureOptions {
+  MeasureQuantity quantity = MeasureQuantity::kLatencyMs;
+
+  /// Keep the per-run trace in the result (Fig. 4b).
+  bool keep_trace = false;
+
+  /// Explicit noise substream. When set, the measurement depends only on
+  /// (session state, noise) — not on how many other measurements run
+  /// concurrently — the call is thread-safe with respect to other
+  /// substream measurements in the same session, and its cost is only
+  /// RETURNED: the caller adds it via add_measurement_cost() in
+  /// deterministic index order. When unset, the measurement draws from the
+  /// device's own sequential stream and its cost is accumulated directly.
+  std::optional<Rng> noise;
+
+  /// Position of this measurement in the session fan-out and the fan-out
+  /// width; used by the fault model to place mid-session dropouts. Leave at
+  /// the defaults for measurements outside a session fan-out.
+  int session_slot = -1;
+  int session_tasks = 0;
+};
+
+/// The outcome of one measure() call. On failure (ok() == false) `value`
+/// and `trace` are meaningless; `cost_seconds` still accounts the simulated
+/// time the failed attempt burned.
+struct MeasureResult {
+  MeasureOutcome outcome = MeasureOutcome::kOk;
+  double value = 0.0;          ///< trimmed mean: latency (ms) or energy (mJ)
+  std::vector<double> trace;   ///< per-run values iff keep_trace was set
+  double cost_seconds = 0.0;   ///< simulated acquisition cost of this attempt
+
+  bool ok() const { return outcome == MeasureOutcome::kOk; }
+};
+
+/// Legacy result of the deprecated measure_ms_stream() wrapper.
 struct StreamMeasurement {
   double value_ms = 0.0;
   double cost_seconds = 0.0;
@@ -42,9 +87,11 @@ struct StreamMeasurement {
 /// A device under measurement: deterministic model + stochastic channel.
 class SimulatedDevice {
  public:
-  /// Binds a device spec and protocol to a seeded noise stream.
+  /// Binds a device spec and protocol to a seeded noise stream, optionally
+  /// with a fault profile active from the first session.
   SimulatedDevice(DeviceSpec spec, std::uint64_t seed,
-                  MeasurementProtocol protocol = {});
+                  MeasurementProtocol protocol = {},
+                  FaultProfile faults = {});
 
   const DeviceSpec& spec() const { return model_.spec(); }
   const MeasurementProtocol& protocol() const { return protocol_; }
@@ -57,7 +104,8 @@ class SimulatedDevice {
   double true_energy_mj(const LayerGraph& graph) const;
 
   /// Starts a new measurement session: draws a fresh session drift factor
-  /// (occasionally a "bad" one) and resets the intra-session random walk.
+  /// (occasionally a "bad" one), resets the intra-session random walk, and
+  /// draws the session's fault regime (dropout, stuck clock).
   void begin_session();
 
   /// True if the current session drew the pathological drift regime. The
@@ -65,33 +113,34 @@ class SimulatedDevice {
   /// for tests and diagnostics only.
   bool session_is_bad() const { return session_is_bad_; }
 
-  /// Simulates one full measurement of the graph: warm-up + `runs` timed
-  /// inferences, returning the trimmed mean (the paper's latency value).
-  double measure_ms(const LayerGraph& graph);
+  /// Installs a fault profile (hwsim/faults.hpp). Per-measurement faults
+  /// (timeouts, read errors) apply immediately; the session-level regime
+  /// (dropout, stuck clock) is drawn at the next begin_session().
+  void set_fault_profile(const FaultProfile& profile);
+  const FaultProfile& fault_profile() const { return injector_.profile(); }
 
-  /// Per-run latency trace (used for Fig. 4b); advances the session state
-  /// and cost accounting exactly like measure_ms.
-  std::vector<double> measure_trace_ms(const LayerGraph& graph);
+  /// The current session's fault regime (tests and diagnostics only, like
+  /// session_is_bad(): the pipeline must discover it through outcomes).
+  const SessionFaults& session_faults() const { return session_faults_; }
 
-  /// Simulates one full measurement whose noise comes entirely from the
-  /// given substream instead of the device's own sequential stream. The
-  /// session regime (drift factor, walk sigma drawn by begin_session) is
-  /// shared, but the intra-measurement clock walk is local to this call,
-  /// so the result depends only on (session state, noise stream) — not on
-  /// how many other measurements run concurrently. Const and thread-safe
-  /// with respect to other stream measurements in the same session; the
-  /// caller adds the returned cost via add_measurement_cost() in
-  /// deterministic order.
-  StreamMeasurement measure_ms_stream(const LayerGraph& graph,
-                                      Rng noise) const;
+  /// Simulates one full measurement of the graph under `options`: warm-up +
+  /// `runs` timed inferences, trimmed mean (the paper's latency value), or
+  /// an injected failure. See MeasureOptions for the sequential-vs-substream
+  /// contract and MeasureResult for the outcome encoding.
+  MeasureResult measure(const LayerGraph& graph,
+                        const MeasureOptions& options = {});
 
-  /// Adds externally accounted measuring time (see measure_ms_stream).
+  /// The fault decision measure() would make for `options`, without running
+  /// anything. Lets a retry planner precompute the attempt schedule (and
+  /// charge retry budgets) in deterministic task order before fanning the
+  /// actual measurements out in parallel. Requires options.noise for
+  /// attempts that will run on a substream.
+  MeasureOutcome fault_outcome(const MeasureOptions& options) const;
+
+  /// Adds externally accounted measuring time (substream measurements and
+  /// retry backoff are reduced onto the device by the caller in
+  /// deterministic order).
   void add_measurement_cost(double seconds) { cost_seconds_ += seconds; }
-
-  /// Simulates a power-logger measurement of per-inference energy: the
-  /// same warm-up + runs + trimmed-mean protocol and the same noise
-  /// channel, applied to the energy model's reading.
-  double measure_energy_mj(const LayerGraph& graph);
 
   /// Simulated seconds spent measuring so far (device + host overhead).
   double measurement_cost_seconds() const { return cost_seconds_; }
@@ -103,23 +152,48 @@ class SimulatedDevice {
   static double summarize(const std::vector<double>& trace,
                           double trim_fraction);
 
- private:
-  double one_run_ms(double true_ms, int run_index);
+  // --- deprecated pre-unification entry points (this PR only) ------------
 
+  [[deprecated("use measure(graph).value")]]
+  double measure_ms(const LayerGraph& graph);
+
+  [[deprecated("use measure(graph, {.keep_trace = true}).trace")]]
+  std::vector<double> measure_trace_ms(const LayerGraph& graph);
+
+  [[deprecated("use measure(graph, options) with MeasureOptions::noise")]]
+  StreamMeasurement measure_ms_stream(const LayerGraph& graph,
+                                      Rng noise) const;
+
+  [[deprecated("use measure(graph, options) with MeasureQuantity::kEnergyMj")]]
+  double measure_energy_mj(const LayerGraph& graph);
+
+ private:
   /// One noisy run drawn from an explicit stream and walk state; shared by
   /// the sequential path (device stream + persistent walk) and the
   /// substream path (local stream + local walk).
   double one_run_with(double true_ms, int run_index, Rng& rng,
                       double& walk_deviation) const;
 
+  /// The full protocol (fault decision, warm-up, runs, trimmed mean) over
+  /// an explicit stream and walk state. Does not touch member state.
+  MeasureResult run_protocol(const LayerGraph& graph,
+                             const MeasureOptions& options, Rng& rng,
+                             double& walk_deviation) const;
+
+  /// Substream path: const and thread-safe; cost only returned.
+  MeasureResult measure_with_stream(const LayerGraph& graph,
+                                    const MeasureOptions& options) const;
+
   LatencyModel model_;
   EnergyModel energy_;
   MeasurementProtocol protocol_;
+  FaultInjector injector_;
   Rng rng_;
   double session_factor_ = 1.0;
   double walk_sigma_ = 0.0;
   double walk_deviation_ = 0.0;
   bool session_is_bad_ = false;
+  SessionFaults session_faults_;
   double cost_seconds_ = 0.0;
 };
 

@@ -51,7 +51,11 @@ double LutSurrogate::layer_cost_ms(const Layer& layer) const {
   // whose element-wise layers execute as fused epilogues.
   LayerGraph probe("probe:" + layer.name);
   probe.add(layer);
-  const double measured = device_->measure_ms(probe);
+  // A faulted probe (hwsim/faults.hpp) must not poison the table with a
+  // zero entry; fall back to the noise-free latency for this layer.
+  const MeasureResult result = device_->measure(probe);
+  const double measured =
+      result.ok() ? result.value : device_->true_latency_ms(probe);
   table_.emplace(key, measured);
   return measured;
 }

@@ -123,8 +123,13 @@ TEST(DatasetGeneratorTest, MeasuresAllRequestedArchs) {
   BalancedSampler sampler(cfg.spec, cfg.n_bins);
   Rng rng(2);
   const auto archs = sampler.sample_n(20, rng);
-  const auto samples = gen.measure_batch(archs);
+  const BatchResult batch = gen.measure_batch(archs);
+  const auto& samples = batch.samples;
   ASSERT_EQ(samples.size(), archs.size());
+  EXPECT_EQ(batch.report.requested, archs.size());
+  EXPECT_EQ(batch.report.measured, archs.size());
+  EXPECT_EQ(batch.report.retries, 0);
+  EXPECT_EQ(batch.qc.attempts, gen.qc_history().back().attempts);
   for (std::size_t i = 0; i < samples.size(); ++i) {
     EXPECT_EQ(samples[i].arch, archs[i]);
     EXPECT_GT(samples[i].latency_ms, 0.0);
@@ -151,7 +156,7 @@ TEST(DatasetGeneratorTest, MeasurementsTrackTrueLatency) {
   BalancedSampler sampler(cfg.spec, cfg.n_bins);
   Rng rng(2);
   const auto archs = sampler.sample_n(10, rng);
-  const auto samples = gen.measure_batch(archs);
+  const auto samples = gen.measure_batch(archs).samples;
   for (const MeasuredSample& s : samples) {
     const double truth =
         device.true_latency_ms(build_graph(cfg.spec, s.arch));

@@ -316,7 +316,9 @@ TEST(EnergyMeasurementTest, MeasuredEnergyTracksTruth) {
   const LayerGraph g = build_graph(spec, uniform_arch(spec, 4, 5));
   const double truth = device.true_energy_mj(g);
   device.begin_session();
-  EXPECT_NEAR(device.measure_energy_mj(g) / truth, 1.0, 0.05);
+  MeasureOptions options;
+  options.quantity = MeasureQuantity::kEnergyMj;
+  EXPECT_NEAR(device.measure(g, options).value / truth, 1.0, 0.05);
 }
 
 // ----------------------------------------------------------- measurement
@@ -325,7 +327,9 @@ TEST(MeasurementTest, TraceHasProtocolLength) {
   const SupernetSpec spec = resnet_spec();
   SimulatedDevice device(rtx4090_spec(), 1);
   const LayerGraph g = build_graph(spec, uniform_arch(spec, 2, 3));
-  const auto trace = device.measure_trace_ms(g);
+  MeasureOptions options;
+  options.keep_trace = true;
+  const auto trace = device.measure(g, options).trace;
   EXPECT_EQ(trace.size(), 150u);
   for (double v : trace) EXPECT_GT(v, 0.0);
 }
@@ -346,7 +350,7 @@ TEST(MeasurementTest, MeasurementNearTrueLatencyInGoodSessions) {
   const double truth = device.true_latency_ms(g);
   for (int s = 0; s < 5; ++s) {
     device.begin_session();
-    const double measured = device.measure_ms(g);
+    const double measured = device.measure(g).value;
     EXPECT_NEAR(measured / truth, 1.0, 0.05);
   }
 }
@@ -365,7 +369,7 @@ TEST(MeasurementTest, BadSessionsDriftMore) {
   for (int s = 0; s < 20; ++s) {
     device.begin_session();
     EXPECT_TRUE(device.session_is_bad());
-    deviation.add(device.measure_ms(g) / truth - 1.0);
+    deviation.add(device.measure(g).value / truth - 1.0);
   }
   EXPECT_GT(deviation.mean(), 0.02);
 }
@@ -374,9 +378,9 @@ TEST(MeasurementTest, DeterministicBySeed) {
   const SupernetSpec spec = resnet_spec();
   const LayerGraph g = build_graph(spec, uniform_arch(spec, 3, 3));
   SimulatedDevice a(rtx4090_spec(), 42), b(rtx4090_spec(), 42);
-  EXPECT_DOUBLE_EQ(a.measure_ms(g), b.measure_ms(g));
+  EXPECT_DOUBLE_EQ(a.measure(g).value, b.measure(g).value);
   SimulatedDevice c(rtx4090_spec(), 43);
-  EXPECT_NE(a.measure_ms(g), c.measure_ms(g));
+  EXPECT_NE(a.measure(g).value, c.measure(g).value);
 }
 
 TEST(MeasurementTest, CostAccountingAccumulates) {
@@ -384,11 +388,11 @@ TEST(MeasurementTest, CostAccountingAccumulates) {
   SimulatedDevice device(rtx4090_spec(), 5);
   const LayerGraph g = build_graph(spec, uniform_arch(spec, 2, 3));
   EXPECT_DOUBLE_EQ(device.measurement_cost_seconds(), 0.0);
-  device.measure_ms(g);
+  device.measure(g);
   const double after_one = device.measurement_cost_seconds();
   // 150 timed runs + 5 warm-up, each at least host_overhead_ms.
   EXPECT_GT(after_one, 155 * device.spec().host_overhead_ms / 1000.0 * 0.9);
-  device.measure_ms(g);
+  device.measure(g);
   EXPECT_NEAR(device.measurement_cost_seconds(), 2 * after_one,
               after_one * 0.2);
   device.reset_measurement_cost();
@@ -405,7 +409,9 @@ TEST(MeasurementTest, WarmupRunsAreSlower) {
   const SupernetSpec spec = resnet_spec();
   const LayerGraph g = build_graph(spec, uniform_arch(spec, 2, 3));
   SimulatedDevice device(dspec, 3);
-  const auto trace = device.measure_trace_ms(g);
+  MeasureOptions options;
+  options.keep_trace = true;
+  const auto trace = device.measure(g, options).trace;
   // First run carries the full warm-up penalty.
   const double tail =
       mean(std::span<const double>(trace).subspan(10));
@@ -430,7 +436,9 @@ TEST(MeasurementTest, OutliersAppearInTraces) {
   const SupernetSpec spec = resnet_spec();
   const LayerGraph g = build_graph(spec, uniform_arch(spec, 2, 3));
   SimulatedDevice device(dspec, 9);
-  const auto trace = device.measure_trace_ms(g);
+  MeasureOptions options;
+  options.keep_trace = true;
+  const auto trace = device.measure(g, options).trace;
   const double med = median(trace);
   const int spikes = static_cast<int>(std::count_if(
       trace.begin(), trace.end(), [&](double v) { return v > 2.0 * med; }));

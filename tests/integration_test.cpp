@@ -37,7 +37,7 @@ MeasuredSet measure_random(const SupernetSpec& spec, SimulatedDevice& device,
   for (std::size_t i = 0; i < n; ++i) {
     set.archs.push_back(sampler.sample(rng));
     set.latencies.push_back(
-        device.measure_ms(build_graph(spec, set.archs.back())));
+        device.measure(build_graph(spec, set.archs.back())).value);
   }
   return set;
 }

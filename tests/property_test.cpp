@@ -184,7 +184,7 @@ TEST_P(SpaceDeviceTest, MeasurementTrimmedMeanIsStable) {
   std::vector<double> measures;
   for (int s = 0; s < 6; ++s) {
     device.begin_session();
-    measures.push_back(device.measure_ms(g));
+    measures.push_back(device.measure(g).value);
   }
   EXPECT_LT(coefficient_of_variation(measures),
             dspec.run_noise_cv + 2.5 * dspec.session_drift_cv + 0.01);
@@ -289,7 +289,9 @@ TEST_P(DeviceEnergyTest, MeasuredEnergyWithinEnvelopeBounds) {
   RandomSampler sampler(spec);
   const LayerGraph g = build_graph(spec, sampler.sample(rng));
   const double latency_ms = device.true_latency_ms(g);
-  const double energy_mj = device.measure_energy_mj(g);
+  MeasureOptions energy_options;
+  energy_options.quantity = MeasureQuantity::kEnergyMj;
+  const double energy_mj = device.measure(g, energy_options).value;
   const PowerEnvelope env = energy_envelope_for(device_);
   // Average power implied by the measurement stays within the envelope
   // (generous 15% slack for measurement noise).
