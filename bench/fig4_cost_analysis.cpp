@@ -27,6 +27,10 @@ int main(int argc, char** argv) {
   args.add_string("fault-profile", "none",
                   "also show acquisition cost under this fault profile "
                   "(preset or key=value pairs)");
+  args.add_string("journal", "",
+                  "campaign journal for the fault-profile acquisition run: "
+                  "batches are journaled and a re-run resumes from it "
+                  "(output stays byte-identical); empty = off");
   if (!args.parse(argc, argv)) return 0;
 
   const SupernetSpec spec = resnet_spec();
@@ -85,6 +89,8 @@ int main(int argc, char** argv) {
     SimulatedDevice faulty(rtx4090_spec(), 11);
     EsmConfig fault_cfg = dataset_config(spec);
     fault_cfg.faults = fault_profile;
+    fault_cfg.journal.path = args.get_string("journal");
+    fault_cfg.journal.resume = fault_cfg.journal.enabled();
     Rng gen_rng(12);
     DatasetGenerator generator(fault_cfg, faulty, gen_rng.split());
     RandomSampler fault_sampler(spec);

@@ -23,6 +23,10 @@ int main(int argc, char** argv) {
   args.add_string("fault-profile", "none",
                   "fault preset (none/flaky/harsh) or key=value pairs");
   args.add_int("retries", 3, "measurement attempts per sample (incl. first)");
+  args.add_string("journal", "",
+                  "campaign journal path: batches are journaled and an "
+                  "interrupted run resumes from it (output stays "
+                  "byte-identical); empty = off");
   if (!args.parse(argc, argv)) return 0;
 
   const SupernetSpec spec = resnet_spec();
@@ -31,6 +35,8 @@ int main(int argc, char** argv) {
   EsmConfig cfg = dataset_config(spec);
   cfg.faults = parse_fault_profile(args.get_string("fault-profile"));
   cfg.retry.max_attempts = static_cast<int>(args.get_int("retries"));
+  cfg.journal.path = args.get_string("journal");
+  cfg.journal.resume = cfg.journal.enabled();
   DatasetGenerator generator(cfg, device,
                              Rng(static_cast<std::uint64_t>(
                                  args.get_int("seed"))));

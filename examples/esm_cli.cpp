@@ -18,6 +18,11 @@
 //             quarantined architectures, simulated cost). Architectures
 //             come from --archs FILE (one per line, comma-separated
 //             per-unit depths like "3,5,2,7") or are sampled (--count).
+//             With --journal PATH every accepted batch is fsync'd to a
+//             write-ahead journal; a killed run restarted with --resume
+//             replays the journaled batches and measures only the rest,
+//             producing a byte-identical --out CSV. Exit codes: 0 all
+//             measured, 2 shortfall, 3 resumed-and-complete.
 //
 // Examples:
 //   esm_cli train --surrogate gbdt --encoder fcc -o /tmp/m.esm
@@ -26,6 +31,11 @@
 //   esm_cli search /tmp/m.esm --budget-ms 3.5
 //   esm_cli measure --device rpi4 --count 50 --fault-profile flaky
 //           --retries 4 --report-json /tmp/report.json
+//   esm_cli measure --device rpi4 --count 64 --batch-size 8
+//           --journal /tmp/camp.journal --out /tmp/dataset.csv
+//   esm_cli measure --device rpi4 --count 64 --batch-size 8
+//           --journal /tmp/camp.journal --out /tmp/dataset.csv --resume
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -34,6 +44,7 @@
 #include <vector>
 
 #include "common/argparse.hpp"
+#include "common/csv.hpp"
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
@@ -294,6 +305,9 @@ int run_measure(const esm::ArgParser& args) {
   config.seed = seed;
   config.faults = esm::parse_fault_profile(args.get_string("fault-profile"));
   config.retry.max_attempts = static_cast<int>(args.get_int("retries"));
+  config.threads = static_cast<int>(args.get_int("threads"));
+  config.journal.path = args.get_string("journal");
+  config.journal.resume = args.get_bool("resume");
   config.validate();
 
   std::vector<esm::ArchConfig> archs;
@@ -306,16 +320,55 @@ int run_measure(const esm::ArgParser& args) {
                              arch_rng);
   }
 
+  const long long batch_arg = args.get_int("batch-size");
+  const std::size_t batch_size =
+      batch_arg > 0 ? static_cast<std::size_t>(batch_arg) : archs.size();
+
   std::cout << "Measuring " << archs.size() << " " << spec.name
             << " architecture(s) on " << device_spec.name
             << " (fault profile: " << args.get_string("fault-profile")
             << ", " << config.retry.max_attempts << " attempt(s)).\n";
   esm::Rng rng(seed);
   esm::DatasetGenerator generator(config, device, rng.split());
-  const esm::BatchResult batch = generator.measure_batch(archs);
+
+  // One journal record per measure_batch() call: --batch-size controls the
+  // checkpoint granularity. The batch partition is derived from the arch
+  // list and flags alone, so a resumed invocation re-issues the identical
+  // batches and the journal answers the already-measured prefix.
+  std::vector<esm::MeasuredSample> measured;
+  esm::DatasetReport report;
+  report.qc_passed = true;
+  for (std::size_t begin = 0; begin < archs.size(); begin += batch_size) {
+    const std::size_t end = std::min(begin + batch_size, archs.size());
+    const std::vector<esm::ArchConfig> chunk(archs.begin() + begin,
+                                             archs.begin() + end);
+    const esm::BatchResult batch = generator.measure_batch(chunk);
+    measured.insert(measured.end(), batch.samples.begin(),
+                    batch.samples.end());
+    report.requested += batch.report.requested;
+    report.measured += batch.report.measured;
+    report.quarantined += batch.report.quarantined;
+    report.skipped_quarantined += batch.report.skipped_quarantined;
+    report.sessions += batch.report.sessions;
+    report.retries += batch.report.retries;
+    report.timeouts += batch.report.timeouts;
+    report.device_losses += batch.report.device_losses;
+    report.read_errors += batch.report.read_errors;
+    report.qc_passed = report.qc_passed && batch.report.qc_passed;
+    report.cost_seconds += batch.report.cost_seconds;
+    report.backoff_seconds += batch.report.backoff_seconds;
+    report.quarantined_archs.insert(report.quarantined_archs.end(),
+                                    batch.report.quarantined_archs.begin(),
+                                    batch.report.quarantined_archs.end());
+  }
+  if (generator.replayed_batches() > 0) {
+    std::cerr << "note: " << generator.replayed_batches()
+              << " batch(es) answered from journal "
+              << config.journal.path << " without re-measuring\n";
+  }
 
   esm::TablePrinter samples({"architecture (depths)", "latency (ms)"});
-  for (const esm::MeasuredSample& s : batch.samples) {
+  for (const esm::MeasuredSample& s : measured) {
     std::vector<std::string> depths;
     for (int d : s.arch.depths()) depths.push_back(std::to_string(d));
     samples.add_row({"[" + esm::join(depths, ",") + "]",
@@ -323,7 +376,6 @@ int run_measure(const esm::ArgParser& args) {
   }
   samples.print(std::cout);
 
-  const esm::DatasetReport& report = batch.report;
   esm::TablePrinter table({"dataset report", "value"});
   table.add_row({"requested", std::to_string(report.requested)});
   table.add_row({"measured", std::to_string(report.measured)});
@@ -341,6 +393,19 @@ int run_measure(const esm::ArgParser& args) {
   table.add_row({"  of which backoff (s)",
                  esm::format_double(report.backoff_seconds, 2)});
   table.print(std::cout);
+
+  // Full-precision dataset CSV: this is the byte-identity artifact the
+  // crash/resume guarantee is stated over (same seed + same flags =>
+  // identical file, interrupted or not).
+  const std::string csv_path = args.get_string("out");
+  if (!csv_path.empty()) {
+    esm::CsvWriter csv(csv_path, {"arch", "latency_ms"});
+    for (const esm::MeasuredSample& s : measured) {
+      csv.add_row({s.arch.to_string(), format_full(s.latency_ms)});
+    }
+    std::cout << "Wrote " << csv.row_count() << " sample(s) to " << csv_path
+              << "\n";
+  }
 
   const std::string json_path = args.get_string("report-json");
   if (!json_path.empty()) {
@@ -360,12 +425,24 @@ int run_measure(const esm::ArgParser& args) {
         << "  \"qc_passed\": " << (report.qc_passed ? "true" : "false")
         << ",\n"
         << "  \"cost_seconds\": " << report.cost_seconds << ",\n"
-        << "  \"backoff_seconds\": " << report.backoff_seconds << "\n"
+        << "  \"backoff_seconds\": " << report.backoff_seconds << ",\n"
+        << "  \"quarantined_archs\": [";
+    // Arch keys are whitespace-free and contain no quotes or backslashes
+    // (ArchConfig::to_string()), so they embed in JSON strings verbatim.
+    for (std::size_t i = 0; i < report.quarantined_archs.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << '"' << report.quarantined_archs[i]
+          << '"';
+    }
+    out << "]\n"
         << "}\n";
     std::cout << "Wrote JSON report to " << json_path << "\n";
   }
-  // Exit 2 when the pipeline had to give up on any architecture.
-  return report.measured == report.requested ? 0 : 2;
+  // 0: everything measured. 2: the pipeline gave up on at least one arch.
+  // 3: everything measured, and at least one batch came from the journal
+  // (resumed-complete) — lets scripts tell a resumed finish from a fresh
+  // one without parsing output.
+  if (report.measured != report.requested) return 2;
+  return generator.replayed_batches() > 0 ? 3 : 0;
 }
 
 /// Rewrites `subcommand [args...]` into plain flags the parser accepts:
@@ -438,6 +515,20 @@ int main(int argc, char** argv) {
                "measurement attempts per sample incl. the first (measure)");
   args.add_string("report-json", "",
                   "write the DatasetReport as JSON here (measure)");
+  args.add_string("journal", "",
+                  "write-ahead campaign journal path (measure); every "
+                  "accepted batch is fsync'd here before the next starts");
+  args.add_bool("resume",
+                "resume from --journal (measure): journaled batches are "
+                "replayed, only the remainder is measured; exit 3 means "
+                "resumed-and-complete");
+  args.add_int("batch-size", 0,
+               "archs per measurement batch / journal record (measure); "
+               "0 = one batch");
+  args.add_string("out", "",
+                  "write the measured dataset as full-precision CSV here "
+                  "(measure)");
+  args.add_int("threads", 0, "worker threads (measure); 0 = hardware");
   args.add_int("seed", 42, "seed");
 
   std::string subcommand;

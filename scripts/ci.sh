@@ -3,9 +3,12 @@
 #
 #   scripts/ci.sh         fast tier: build + sub-minute `ctest -L fast`
 #   scripts/ci.sh full    fast tier, then the remaining (slow) suites, then
-#                         an ASan build running the surrogate + esm suites,
-#                         then a TSan build running the fault + parallel
-#                         suites (fault retries exercise parallel_map)
+#                         a kill -9 resume smoke test of `esm_cli measure
+#                         --journal/--resume`, then an ASan build running
+#                         the surrogate + esm + corruption-matrix suites,
+#                         then a TSan build running the fault + parallel +
+#                         journal suites (journal writes sit on the ordered
+#                         reduction path of the thread pool)
 #
 # Thread-count invariance is covered inside the suites themselves
 # (parallel_test pins 1-thread vs 8-thread bit-identity), so CI only needs
@@ -31,19 +34,38 @@ fi
 echo "== slow tier (remaining suites) =="
 ctest --test-dir build -LE fast --output-on-failure
 
-echo "== asan tier (surrogate + esm suites) =="
+echo "== kill -9 resume smoke test =="
+# A journaled campaign killed at an arbitrary point and resumed must write
+# the exact same dataset CSV as an uninterrupted run. Whatever the kill
+# hits — before the header, mid-record, after completion — resume recovers:
+# journaled batches replay, the rest re-measure, bit-identically.
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+MEASURE="build/examples/esm_cli measure --device rpi4 --count 48
+  --batch-size 4 --fault-profile flaky --threads 8"
+$MEASURE --out "$SMOKE_DIR/golden.csv" >/dev/null 2>&1 || true
+timeout -s KILL 0.05 $MEASURE --journal "$SMOKE_DIR/campaign.journal" \
+  >/dev/null 2>&1 || true
+$MEASURE --journal "$SMOKE_DIR/campaign.journal" --resume \
+  --out "$SMOKE_DIR/resumed.csv" >/dev/null 2>&1 || true
+cmp "$SMOKE_DIR/golden.csv" "$SMOKE_DIR/resumed.csv" \
+  || { echo "kill -9 resume smoke test FAILED: dataset differs"; exit 1; }
+echo "resumed dataset is byte-identical to the uninterrupted run"
+
+echo "== asan tier (surrogate + esm + corruption suites) =="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DESM_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS" \
-  --target surrogate_test surrogate_registry_test esm_test
+  --target surrogate_test surrogate_registry_test esm_test corruption_test
 ctest --test-dir build-asan --output-on-failure \
-  -R '^(surrogate_test|surrogate_registry_test|esm_test)$'
+  -R '^(surrogate_test|surrogate_registry_test|esm_test|corruption_test)$'
 
-echo "== tsan tier (fault + parallel suites) =="
+echo "== tsan tier (fault + parallel + journal suites) =="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DESM_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$JOBS" --target fault_test parallel_test
+cmake --build build-tsan -j "$JOBS" \
+  --target fault_test parallel_test journal_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R '^(fault_test|parallel_test)$'
+  -R '^(fault_test|parallel_test|journal_test)$'
 
 echo "CI full tier passed."

@@ -6,13 +6,18 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/checksum.hpp"
 #include "common/error.hpp"
 
 namespace esm {
 namespace {
 
 constexpr const char* kMagicPrefix = "esm-archive v";
-constexpr long long kFormatVersion = 1;
+constexpr const char* kFooterKey = "esm-archive-crc32";
+// v2 added the trailing CRC32 footer; v1 (no footer) still loads so that
+// artifacts written by earlier builds keep working, just unprotected.
+constexpr long long kFormatVersion = 2;
+constexpr long long kOldestReadableVersion = 1;
 
 std::string format_value(double v) {
   char buf[40];
@@ -78,7 +83,15 @@ std::string ArchiveWriter::to_string() const {
   for (const auto& [key, payload] : entries_) {
     os << key << ' ' << payload << '\n';
   }
-  return os.str();
+  // The footer checksums every byte above it, so any later truncation or
+  // bit flip — header, keys, values, even whitespace — is detected on load.
+  std::string content = os.str();
+  const std::uint32_t crc = crc32(content);
+  content += kFooterKey;
+  content += ' ';
+  content += crc32_hex(crc);
+  content += '\n';
+  return content;
 }
 
 void ArchiveWriter::save(const std::string& path) const {
@@ -100,21 +113,70 @@ ArchiveReader ArchiveReader::from_string(const std::string& content) {
   const long long version = std::strtoll(version_text.c_str(), &end, 10);
   ESM_REQUIRE(end != nullptr && *end == '\0' && !version_text.empty(),
               "not an ESM archive (bad header: '" << header << "')");
-  ESM_REQUIRE(version == kFormatVersion,
+  ESM_REQUIRE(version >= kOldestReadableVersion && version <= kFormatVersion,
               "unsupported archive format version v"
-                  << version << " (this build reads v" << kFormatVersion
-                  << ")");
+                  << version << " (this build reads v" << kOldestReadableVersion
+                  << "..v" << kFormatVersion << ")");
+
+  // v2+ archives end with "esm-archive-crc32 <hex8>" checksumming every byte
+  // before it. Locate and verify the footer before parsing entries, so a
+  // truncated or bit-flipped file is rejected with a precise error instead
+  // of surfacing as a confusing entry-level parse failure.
+  std::string body = content;
   ArchiveReader reader;
+  if (version >= 2) {
+    // Find the start of the last non-empty line.
+    std::size_t end_pos = body.size();
+    while (end_pos > 0 && (body[end_pos - 1] == '\n' || body[end_pos - 1] == '\r'))
+      --end_pos;
+    const std::size_t line_start = body.rfind('\n', end_pos == 0 ? 0 : end_pos - 1);
+    const std::size_t footer_begin =
+        (line_start == std::string::npos) ? 0 : line_start + 1;
+    std::string footer = body.substr(footer_begin, end_pos - footer_begin);
+    if (!footer.empty() && footer.back() == '\r') footer.pop_back();
+    ESM_REQUIRE(footer.rfind(kFooterKey, 0) == 0 &&
+                    footer.size() > std::strlen(kFooterKey) &&
+                    footer[std::strlen(kFooterKey)] == ' ',
+                "truncated archive: v" << version
+                                       << " requires a trailing '" << kFooterKey
+                                       << "' footer, found none");
+    std::uint32_t stored = 0;
+    const std::string hex = footer.substr(std::strlen(kFooterKey) + 1);
+    ESM_REQUIRE(parse_crc32_hex(hex, stored),
+                "truncated archive: malformed checksum footer '" << footer
+                                                                 << "'");
+    const std::uint32_t actual = crc32(
+        std::string_view(body.data(), footer_begin));
+    ESM_REQUIRE(actual == stored,
+                "archive checksum mismatch: footer says "
+                    << hex << " but contents hash to " << crc32_hex(actual)
+                    << " (file is corrupt or was modified)");
+    body.resize(footer_begin);
+    reader.checksummed_ = true;
+  }
+
+  std::istringstream entries_in(body);
+  std::string skip_header;
+  std::getline(entries_in, skip_header);
   std::string line;
   int line_no = 1;
-  while (std::getline(in, line)) {
+  while (std::getline(entries_in, line)) {
     ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     std::istringstream tokens(line);
     std::string key;
     std::size_t count = 0;
     ESM_REQUIRE(static_cast<bool>(tokens >> key >> count),
                 "archive parse error at line " << line_no);
+    // A hostile count (e.g. from a bit flip in the digits) must not drive a
+    // huge reserve(): each value needs at least two bytes ("v "), so the
+    // line length bounds the plausible element count.
+    ESM_REQUIRE(count <= line.size(),
+                "archive entry '" << key << "' declares " << count
+                                  << " values but line " << line_no
+                                  << " is only " << line.size()
+                                  << " bytes long");
     std::vector<std::string> values;
     values.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
@@ -124,6 +186,10 @@ ArchiveReader ArchiveReader::from_string(const std::string& content) {
                                     << line_no);
       values.push_back(std::move(v));
     }
+    std::string trailing;
+    ESM_REQUIRE(!(tokens >> trailing),
+                "archive entry '" << key << "' has trailing garbage '"
+                                  << trailing << "' at line " << line_no);
     ESM_REQUIRE(reader.entries_.emplace(key, std::move(values)).second,
                 "duplicate archive key '" << key << "'");
   }

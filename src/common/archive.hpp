@@ -1,17 +1,28 @@
 // Minimal typed key-value archive for model persistence.
 //
-// Text format, one entry per line:
-//   esm-archive v1
+// Text format, one entry per line, closed by a checksum footer:
+//   esm-archive v2
 //   <key> <count> <v0> <v1> ...
+//   esm-archive-crc32 <8-hex-digit CRC32>
 // Keys are written/read in any order; vectors of doubles, vectors of
 // whitespace-free strings, scalars, and single strings are supported. Used
 // to save and load trained surrogates (MLP weights, GBDT stages, LUT
 // tables, standardizers, encoder/spec identity).
 //
 // The header line carries the container format version. Readers reject
-// duplicate keys and any version other than the one this build writes, each
-// with a distinct esm::ConfigError (a garbled header is reported as "not an
-// ESM archive", a newer version as "unsupported format version").
+// duplicate keys and any version newer than the one this build writes,
+// each with a distinct esm::ConfigError (a garbled header is reported as
+// "not an ESM archive", a newer version as "unsupported format version").
+//
+// Integrity: the v2 footer is the CRC32 (common/checksum.hpp) of every
+// byte before the footer line. A v2 archive with a missing footer is
+// reported as truncated, and one whose bytes do not match the footer as a
+// checksum mismatch — a single flipped bit anywhere in the file is caught.
+// v1 archives (no footer) still load, with checksummed() reporting false
+// so callers can note the missing protection. Entry parsing is hardened
+// independently of the checksum: declared counts are bounds-checked
+// against the line length, truncated vectors and trailing garbage are
+// rejected, and every error names the offending key and line.
 #pragma once
 
 #include <cstdint>
@@ -60,8 +71,13 @@ class ArchiveReader {
   std::vector<double> get_doubles(const std::string& key) const;
   std::vector<std::string> get_strings(const std::string& key) const;
 
+  /// True if the archive carried (and passed) a CRC32 footer. False only
+  /// for pre-footer v1 archives, which load without integrity protection.
+  bool checksummed() const { return checksummed_; }
+
  private:
   std::map<std::string, std::vector<std::string>> entries_;
+  bool checksummed_ = false;
 };
 
 }  // namespace esm

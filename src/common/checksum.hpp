@@ -1,0 +1,28 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) for artifact and
+// journal integrity.
+//
+// Both durable byte streams of the project — surrogate artifacts
+// (common/archive.hpp, trailing footer) and campaign journals
+// (esm/journal.hpp, per-record frame) — carry CRC32 checksums so that
+// truncated or bit-flipped files are rejected with a precise error instead
+// of being misparsed. The checksum is computed over raw bytes, so it is
+// stable across platforms and independent of how the payload is tokenized.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace esm {
+
+/// CRC32 of `data`, optionally continuing from a previous value (pass the
+/// previous return value as `seed` to checksum a stream incrementally).
+std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0);
+
+/// Renders a CRC32 as fixed-width lowercase hex ("0badc0de").
+std::string crc32_hex(std::uint32_t crc);
+
+/// Parses the fixed-width hex form; returns false on malformed input.
+bool parse_crc32_hex(std::string_view text, std::uint32_t& out);
+
+}  // namespace esm

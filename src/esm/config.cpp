@@ -15,6 +15,11 @@ const char* eval_strategy_name(EvalStrategy s) {
   return "unknown";
 }
 
+void JournalOptions::validate() const {
+  ESM_REQUIRE(!resume || !path.empty(),
+              "config: journal resume requires a journal path");
+}
+
 void EsmConfig::validate() const {
   ESM_REQUIRE(spec.num_units >= 1, "config: spec has no units");
   ESM_REQUIRE(SurrogateRegistry::instance().has(surrogate),
@@ -51,6 +56,7 @@ void EsmConfig::validate() const {
               "config: QC baselines need >= 1 session");
   faults.validate();
   retry.validate();
+  journal.validate();
   ESM_REQUIRE(threads >= 0, "config: threads must be >= 0 (0 = ESM_THREADS)");
 }
 

@@ -20,6 +20,21 @@ enum class EvalStrategy { kOverall, kBinWise };
 
 const char* eval_strategy_name(EvalStrategy s);
 
+/// Crash-safe campaign journaling (esm/journal.hpp). With a path set, the
+/// DatasetGenerator write-ahead-logs every accepted measurement batch;
+/// with `resume` also set, an existing journal is replayed first so a
+/// killed campaign continues bit-identically without re-measuring.
+struct JournalOptions {
+  std::string path;     ///< journal file; empty = journaling off
+  bool resume = false;  ///< replay an existing journal before appending
+  bool durable = true;  ///< fsync each record (tests may disable for speed)
+
+  bool enabled() const { return !path.empty(); }
+
+  /// Throws esm::ConfigError if resume is requested without a path.
+  void validate() const;
+};
+
 /// All user inputs of the ESM framework (paper Fig. 5, §II-B).
 struct EsmConfig {
   SupernetSpec spec;                                   ///< architecture space
@@ -53,6 +68,9 @@ struct EsmConfig {
   FaultProfile faults;
   /// Retry/backoff behavior for failed measurement attempts.
   RetryPolicy retry;
+
+  /// Write-ahead journal for crash-safe, resumable campaigns.
+  JournalOptions journal;
 
   // --- predictor training ---
   TrainConfig train;             ///< paper defaults: 3x64 MLP, Adam 0.01/1e-4

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/stats.hpp"
+#include "esm/journal.hpp"
 #include "esm/retry.hpp"
 #include "nets/sampler.hpp"
 
@@ -19,6 +21,10 @@ namespace {
 /// first attempt nor any other task.
 constexpr std::uint64_t kRetryNoiseStream = 0x52e7291e5ull;
 constexpr std::uint64_t kBackoffStream = 0xbac0ff5e77ull;
+
+/// Substream tag for the journal's RNG fingerprint (non-advancing, so
+/// journaling never perturbs the measurement stream).
+constexpr std::uint64_t kJournalDigestStream = 0x6a0b2a1d16e57ull;
 
 }  // namespace
 
@@ -41,7 +47,56 @@ DatasetGenerator::DatasetGenerator(const EsmConfig& config,
   for (const ArchConfig& arch : references_) {
     reference_graphs_.push_back(build_graph(config_.spec, arch));
   }
+  if (config_.journal.enabled()) {
+    init_journal();
+  } else {
+    establish_baselines();
+  }
+}
+
+DatasetGenerator::~DatasetGenerator() = default;
+
+std::uint64_t DatasetGenerator::rng_digest() const {
+  return rng_.split(kJournalDigestStream)();
+}
+
+void DatasetGenerator::init_journal() {
+  journal_ = std::make_unique<CampaignJournal>(
+      config_.journal.path, config_.journal.resume, config_.journal.durable);
+  const std::uint32_t config_crc = campaign_config_crc(config_);
+  if (journal_->header().has_value()) {
+    // Resume: restore the journaled construction state instead of
+    // re-measuring baselines. The device and generator streams are
+    // fast-forwarded through exactly the draws the original baseline
+    // sessions consumed, so every later draw lines up bit-identically.
+    const CampaignHeader& header = *journal_->header();
+    ESM_REQUIRE(header.config_crc == config_crc && header.seed == config_.seed,
+                "journal " << config_.journal.path
+                           << " was written by a different campaign "
+                              "(config/seed mismatch); refusing to resume");
+    ESM_REQUIRE(header.baselines.size() == reference_graphs_.size(),
+                "journal " << config_.journal.path << " holds "
+                           << header.baselines.size()
+                           << " reference baselines, campaign needs "
+                           << reference_graphs_.size());
+    device_->replay_sessions(header.baseline_sessions);
+    for (int s = 0; s < header.baseline_sessions; ++s) (void)rng_.split();
+    baselines_ = header.baselines;
+    device_->restore_measurement_cost(header.cost_seconds);
+    ESM_REQUIRE(rng_digest() == header.rng_digest,
+                "journal resume diverged while replaying baselines of "
+                    << config_.journal.path);
+    return;
+  }
   establish_baselines();
+  CampaignHeader header;
+  header.config_crc = config_crc;
+  header.seed = config_.seed;
+  header.baseline_sessions = config_.qc_baseline_sessions;
+  header.baselines = baselines_;
+  header.cost_seconds = device_->measurement_cost_seconds();
+  header.rng_digest = rng_digest();
+  journal_->write_header(header);
 }
 
 void DatasetGenerator::establish_baselines() {
@@ -275,43 +330,125 @@ BatchResult DatasetGenerator::measure_batch(
       todo.push_back(arch);
     }
   }
-  if (todo.empty()) {
-    // Nothing measurable (empty request or fully quarantined): no session,
-    // no QC entry.
-    return out;
+
+  // A resumed campaign answers batches from the journal until the loaded
+  // records run out, then seamlessly switches back to live measurement.
+  if (journal_ && journal_->peek_batch() != nullptr) {
+    return replay_batch(archs, todo, std::move(out));
   }
 
-  const double cost_before = device_->measurement_cost_seconds();
-  int budget = config_.retry.batch_retry_budget;
-  SessionOutcome kept;
-  for (int attempt = 1; attempt <= config_.qc_max_attempts; ++attempt) {
-    kept = run_session(todo, budget);
-    kept.report.attempts = attempt;
-    ++out.report.sessions;
-    out.report.retries += kept.retries;
-    out.report.timeouts += kept.timeouts;
-    out.report.device_losses += kept.device_losses;
-    out.report.read_errors += kept.read_errors;
-    out.report.backoff_seconds += kept.backoff_seconds;
-    if (kept.report.passed) break;
-  }
-  qc_history_.push_back(kept.report);
-  out.qc = kept.report;
-  out.samples = std::move(kept.samples);
-
-  // Architectures that still failed in the kept session have exhausted
-  // their chances for this batch; quarantine them so later batches do not
-  // burn budget on them again.
-  for (const ArchConfig& arch : kept.failed) {
-    if (quarantine_.insert(arch.to_string()).second) {
-      ++out.report.quarantined;
+  bool measured_live = false;
+  if (!todo.empty()) {
+    measured_live = true;
+    const double cost_before = device_->measurement_cost_seconds();
+    int budget = config_.retry.batch_retry_budget;
+    SessionOutcome kept;
+    for (int attempt = 1; attempt <= config_.qc_max_attempts; ++attempt) {
+      kept = run_session(todo, budget);
+      kept.report.attempts = attempt;
+      ++out.report.sessions;
+      out.report.retries += kept.retries;
+      out.report.timeouts += kept.timeouts;
+      out.report.device_losses += kept.device_losses;
+      out.report.read_errors += kept.read_errors;
+      out.report.backoff_seconds += kept.backoff_seconds;
+      if (kept.report.passed) break;
     }
-  }
+    qc_history_.push_back(kept.report);
+    out.qc = kept.report;
+    out.samples = std::move(kept.samples);
 
-  out.report.measured = out.samples.size();
-  out.report.qc_passed = kept.report.passed;
-  out.report.cost_seconds =
-      device_->measurement_cost_seconds() - cost_before;
+    // Architectures that still failed in the kept session have exhausted
+    // their chances for this batch; quarantine them so later batches do not
+    // burn budget on them again.
+    for (const ArchConfig& arch : kept.failed) {
+      std::string key = arch.to_string();
+      if (quarantine_.insert(key).second) {
+        ++out.report.quarantined;
+        out.report.quarantined_archs.push_back(std::move(key));
+      }
+    }
+
+    out.report.measured = out.samples.size();
+    out.report.qc_passed = kept.report.passed;
+    out.report.cost_seconds =
+        device_->measurement_cost_seconds() - cost_before;
+  }
+  // else: nothing measurable (empty request or fully quarantined) — no
+  // session, no QC entry, but the call is still journaled so that record
+  // sequence numbers stay aligned with measure_batch() call order.
+
+  if (journal_) {
+    BatchRecord record;
+    record.requested = archs.size();
+    record.request_crc = batch_request_crc(archs);
+    record.sessions = out.report.sessions;
+    record.has_qc = measured_live;
+    record.qc = out.qc;
+    record.report = out.report;
+    record.quarantined = out.report.quarantined_archs;
+    record.cost_total = device_->measurement_cost_seconds();
+    record.rng_digest = rng_digest();
+    // Samples arrive in todo order, so a single forward scan recovers each
+    // sample's index into the batch's measurable list.
+    std::size_t ti = 0;
+    record.samples.reserve(out.samples.size());
+    for (const MeasuredSample& sample : out.samples) {
+      while (ti < todo.size() && !(todo[ti] == sample.arch)) ++ti;
+      ESM_CHECK(ti < todo.size(),
+                "batch samples are not a subsequence of the todo list");
+      record.samples.push_back({ti, sample.latency_ms});
+      ++ti;
+    }
+    journal_->append_batch(record);
+  }
+  return out;
+}
+
+BatchResult DatasetGenerator::replay_batch(
+    const std::vector<ArchConfig>& archs, const std::vector<ArchConfig>& todo,
+    BatchResult out) {
+  const BatchRecord& record = *journal_->peek_batch();
+  ESM_REQUIRE(record.requested == archs.size() &&
+                  record.request_crc == batch_request_crc(archs),
+              "journal record "
+                  << replayed_batches_ + 1
+                  << " was written for a different batch than the campaign "
+                     "is requesting; refusing to resume");
+  ESM_CHECK(record.report.skipped_quarantined ==
+                out.report.skipped_quarantined,
+            "replayed quarantine skip count diverged from the journal");
+
+  // Fast-forward the device and generator streams through exactly the
+  // draws the journaled sessions consumed (begin_session never overlaps
+  // with measurement draws — those ride non-advancing substreams).
+  device_->replay_sessions(record.sessions);
+  for (int s = 0; s < record.sessions; ++s) (void)rng_.split();
+  device_->restore_measurement_cost(record.cost_total);
+  ESM_REQUIRE(rng_digest() == record.rng_digest,
+              "journal resume diverged while replaying batch "
+                  << replayed_batches_ + 1 << " of " << config_.journal.path);
+
+  std::size_t newly_quarantined = 0;
+  for (const std::string& key : record.quarantined) {
+    if (quarantine_.insert(key).second) ++newly_quarantined;
+  }
+  ESM_CHECK(newly_quarantined == record.report.quarantined,
+            "replayed quarantine set diverged from the journal");
+  if (record.has_qc) qc_history_.push_back(record.qc);
+
+  out.qc = record.qc;
+  out.report = record.report;
+  out.samples.reserve(record.samples.size());
+  for (const JournalSample& sample : record.samples) {
+    ESM_REQUIRE(sample.todo_index < todo.size(),
+                "journal sample index " << sample.todo_index
+                                        << " is out of range for a batch of "
+                                        << todo.size());
+    out.samples.push_back({todo[sample.todo_index], sample.latency_ms});
+  }
+  journal_->pop_batch();
+  ++replayed_batches_;
   return out;
 }
 

@@ -21,9 +21,17 @@
 // happened. Retry schedules are planned serially from fault substreams
 // before the parallel fan-out, so seeded runs stay bit-identical at any
 // thread count (the PR-1 invariant).
+//
+// With EsmConfig::journal configured, the generator additionally writes
+// every accepted batch through a CampaignJournal (esm/journal.hpp) and, on
+// resume, answers already-journaled batches by replaying their records —
+// restoring baselines, QC history, quarantine, simulated cost, and the
+// exact RNG/session state — instead of re-measuring. A killed campaign
+// resumed this way finishes bit-identically to an uninterrupted run.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -34,6 +42,9 @@
 #include "nets/builder.hpp"
 
 namespace esm {
+
+class CampaignJournal;
+struct BatchRecord;
 
 /// One architecture with its measured latency.
 struct MeasuredSample {
@@ -68,6 +79,12 @@ struct DatasetReport {
   bool qc_passed = false;        ///< final session met the QC bound
   double cost_seconds = 0.0;     ///< simulated cost of this batch, incl. retries
   double backoff_seconds = 0.0;  ///< simulated backoff charged before retries
+
+  /// Stable keys (ArchConfig::to_string()) of the archs newly quarantined
+  /// by this batch — one per `quarantined` count, so reports (and resumed
+  /// runs reading the journal) can explain exactly which archs were given
+  /// up on, not just how many.
+  std::vector<std::string> quarantined_archs;
 };
 
 /// Everything measure_batch() produced: the surviving samples, the QC
@@ -83,9 +100,13 @@ class DatasetGenerator {
  public:
   /// Draws the reference models and establishes their baseline latencies
   /// over several sessions (median per reference). Installs the config's
-  /// fault profile on the device if the config declares one.
+  /// fault profile on the device if the config declares one. With
+  /// config.journal set, opens (and on resume, replays the header of) the
+  /// campaign journal; a resumed construction restores the journaled
+  /// baselines without re-measuring them.
   DatasetGenerator(const EsmConfig& config, SimulatedDevice& device,
                    Rng rng);
+  ~DatasetGenerator();
 
   /// Measures every architecture in one QC-controlled session; re-measures
   /// (new session) until QC passes or attempts run out, keeping the last
@@ -107,6 +128,12 @@ class DatasetGenerator {
   const std::set<std::string>& quarantined() const { return quarantine_; }
 
   SimulatedDevice& device() { return *device_; }
+
+  /// Batches answered from the journal instead of being measured (resume).
+  std::size_t replayed_batches() const { return replayed_batches_; }
+
+  /// True when a campaign journal is attached (config.journal.path set).
+  bool journaling() const { return journal_ != nullptr; }
 
  private:
   /// Planned attempts for one measurement task of a session fan-out: the
@@ -151,6 +178,22 @@ class DatasetGenerator {
 
   void establish_baselines();
 
+  /// Fingerprint of the generator's sequential stream, drawn from a
+  /// non-advancing substream: journal records carry it so resume can
+  /// verify that replay restored the exact stream position.
+  std::uint64_t rng_digest() const;
+
+  /// Opens the journal and, on resume, restores construction state from
+  /// its campaign header (or measures baselines and writes the header).
+  void init_journal();
+
+  /// Answers one measure_batch() call from the next journaled record:
+  /// replays the recorded sessions/RNG splits, restores cost, quarantine,
+  /// and QC history, and reconstructs the samples from `todo`.
+  BatchResult replay_batch(const std::vector<ArchConfig>& archs,
+                           const std::vector<ArchConfig>& todo,
+                           BatchResult out);
+
   EsmConfig config_;
   SimulatedDevice* device_;  // non-owning
   Rng rng_;
@@ -159,6 +202,8 @@ class DatasetGenerator {
   std::vector<double> baselines_;
   std::vector<QcReport> qc_history_;
   std::set<std::string> quarantine_;
+  std::unique_ptr<CampaignJournal> journal_;
+  std::size_t replayed_batches_ = 0;
 };
 
 }  // namespace esm

@@ -184,31 +184,4 @@ double SimulatedDevice::summarize(const std::vector<double>& trace,
   return trimmed_mean(trace, trim_fraction);
 }
 
-// --- deprecated pre-unification entry points (this PR only) --------------
-
-double SimulatedDevice::measure_ms(const LayerGraph& graph) {
-  return measure(graph).value;
-}
-
-std::vector<double> SimulatedDevice::measure_trace_ms(
-    const LayerGraph& graph) {
-  MeasureOptions options;
-  options.keep_trace = true;
-  return measure(graph, options).trace;
-}
-
-StreamMeasurement SimulatedDevice::measure_ms_stream(const LayerGraph& graph,
-                                                     Rng noise) const {
-  MeasureOptions options;
-  options.noise = noise;
-  const MeasureResult result = measure_with_stream(graph, options);
-  return StreamMeasurement{result.value, result.cost_seconds};
-}
-
-double SimulatedDevice::measure_energy_mj(const LayerGraph& graph) {
-  MeasureOptions options;
-  options.quantity = MeasureQuantity::kEnergyMj;
-  return measure(graph, options).value;
-}
-
 }  // namespace esm

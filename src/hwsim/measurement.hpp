@@ -78,12 +78,6 @@ struct MeasureResult {
   bool ok() const { return outcome == MeasureOutcome::kOk; }
 };
 
-/// Legacy result of the deprecated measure_ms_stream() wrapper.
-struct StreamMeasurement {
-  double value_ms = 0.0;
-  double cost_seconds = 0.0;
-};
-
 /// A device under measurement: deterministic model + stochastic channel.
 class SimulatedDevice {
  public:
@@ -107,6 +101,23 @@ class SimulatedDevice {
   /// (occasionally a "bad" one), resets the intra-session random walk, and
   /// draws the session's fault regime (dropout, stuck clock).
   void begin_session();
+
+  // --- campaign-journal replay hooks (esm/journal.hpp) -------------------
+  // Substream measurements never advance the device's sequential stream,
+  // so a journaled campaign can fast-forward a fresh same-seed device to
+  // any batch boundary by replaying session begins alone — no measurement
+  // runs, and every later draw lines up bit-identically.
+
+  /// Replays `n` session begins, consuming exactly the draws the original
+  /// sessions consumed.
+  void replay_sessions(int n) {
+    for (int i = 0; i < n; ++i) begin_session();
+  }
+
+  /// Restores the cost accumulator to a journaled absolute value (the
+  /// replayed sessions' measurement costs were accounted externally and
+  /// cannot be re-derived without re-measuring).
+  void restore_measurement_cost(double seconds) { cost_seconds_ = seconds; }
 
   /// True if the current session drew the pathological drift regime. The
   /// QC step must *discover* this through reference models; it is exposed
@@ -151,21 +162,6 @@ class SimulatedDevice {
   /// Applies the trimmed-mean protocol to a raw trace.
   static double summarize(const std::vector<double>& trace,
                           double trim_fraction);
-
-  // --- deprecated pre-unification entry points (this PR only) ------------
-
-  [[deprecated("use measure(graph).value")]]
-  double measure_ms(const LayerGraph& graph);
-
-  [[deprecated("use measure(graph, {.keep_trace = true}).trace")]]
-  std::vector<double> measure_trace_ms(const LayerGraph& graph);
-
-  [[deprecated("use measure(graph, options) with MeasureOptions::noise")]]
-  StreamMeasurement measure_ms_stream(const LayerGraph& graph,
-                                      Rng noise) const;
-
-  [[deprecated("use measure(graph, options) with MeasureQuantity::kEnergyMj")]]
-  double measure_energy_mj(const LayerGraph& graph);
 
  private:
   /// One noisy run drawn from an explicit stream and walk state; shared by

@@ -1,5 +1,6 @@
 #include "surrogate/registry.hpp"
 
+#include <cstdio>
 #include <utility>
 
 #include "common/error.hpp"
@@ -145,6 +146,14 @@ void save_surrogate(const TrainableSurrogate& surrogate,
 
 std::unique_ptr<TrainableSurrogate> load_surrogate(const std::string& path) {
   const ArchiveReader archive = ArchiveReader::from_file(path);
+  if (!archive.checksummed()) {
+    // Pre-v2 artifact: readable, but carries no CRC32 footer, so silent
+    // corruption cannot be detected. Note it rather than failing.
+    std::fprintf(stderr,
+                 "note: %s predates archive checksums (v1); loaded without "
+                 "integrity verification\n",
+                 path.c_str());
+  }
   ESM_REQUIRE(archive.has("esm.format"),
               "not an ESM surrogate artifact (missing esm.format): " << path);
   const long long format = archive.get_int("esm.format");

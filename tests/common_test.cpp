@@ -424,7 +424,7 @@ TEST(ArchiveTest, RejectsUnknownFormatVersion) {
   // A garbled header and a newer format version are distinct errors: the
   // former is "not an archive", the latter names the unsupported version.
   try {
-    ArchiveReader::from_string("esm-archive v2\na 1 1\n");
+    ArchiveReader::from_string("esm-archive v3\na 1 1\n");
     FAIL() << "expected ConfigError";
   } catch (const ConfigError& e) {
     EXPECT_NE(std::string(e.what()).find("unsupported archive format"),
@@ -432,6 +432,65 @@ TEST(ArchiveTest, RejectsUnknownFormatVersion) {
         << e.what();
   }
   EXPECT_THROW(ArchiveReader::from_string("esm-archive v999\n"), ConfigError);
+}
+
+TEST(ArchiveTest, WritesAndVerifiesChecksumFooter) {
+  ArchiveWriter writer;
+  writer.put_int("a", 1);
+  const std::string text = writer.to_string();
+  EXPECT_NE(text.find("esm-archive-crc32 "), std::string::npos);
+  const ArchiveReader reader = ArchiveReader::from_string(text);
+  EXPECT_TRUE(reader.checksummed());
+  EXPECT_EQ(reader.get_int("a"), 1);
+}
+
+TEST(ArchiveTest, LoadsV1WithoutFooterUnchecksummed) {
+  const ArchiveReader reader =
+      ArchiveReader::from_string("esm-archive v1\na 1 7\n");
+  EXPECT_FALSE(reader.checksummed());
+  EXPECT_EQ(reader.get_int("a"), 7);
+}
+
+TEST(ArchiveTest, RejectsV2WithoutFooterAsTruncated) {
+  try {
+    ArchiveReader::from_string("esm-archive v2\na 1 1\n");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated archive"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ArchiveTest, RejectsChecksumMismatch) {
+  ArchiveWriter writer;
+  writer.put_double("rate", 0.125);
+  std::string text = writer.to_string();
+  const std::size_t pos = text.find("0.125");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos] = '9';  // flip a payload byte; footer no longer matches
+  try {
+    ArchiveReader::from_string(text);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ArchiveTest, RejectsHostileElementCount) {
+  // A bit flip turning a count into a huge number must not drive a huge
+  // allocation: counts are bounds-checked against the line length first.
+  EXPECT_THROW(
+      ArchiveReader::from_string("esm-archive v1\nv 99999999999 1.0\n"),
+      ConfigError);
+}
+
+TEST(ArchiveTest, RejectsTrailingGarbageAfterDeclaredCount) {
+  EXPECT_THROW(
+      ArchiveReader::from_string("esm-archive v1\nv 1 1.0 stray\n"),
+      ConfigError);
 }
 
 TEST(ArchiveTest, RoundTripsStringVectors) {

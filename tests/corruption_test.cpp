@@ -1,0 +1,173 @@
+// Corruption-matrix tests: archives and journals fed truncated or
+// bit-flipped bytes must always fail cleanly — a specific esm::ConfigError
+// naming what is wrong — or, for damage confined to a journal's final
+// record, recover by dropping the torn tail. Never a crash, hang, huge
+// allocation, or silent misparse. The ci.sh full tier additionally runs
+// this suite under ASan so any out-of-bounds read the matrix provokes is
+// caught even when it does not crash.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/archive.hpp"
+#include "common/error.hpp"
+#include "esm/journal.hpp"
+
+namespace esm {
+namespace {
+
+/// A representative archive exercising every value type, long enough that
+/// the 64-byte corruption matrix has many sections to damage.
+std::string archive_bytes() {
+  ArchiveWriter writer;
+  writer.put_string("esm.kind", "mlp");
+  writer.put_int("esm.format", 3);
+  writer.put_double("lr", 0.0009765625);
+  std::vector<double> weights;
+  for (int i = 0; i < 64; ++i) weights.push_back(1.0 / (i + 1));
+  writer.put_doubles("w", weights);
+  writer.put_strings("toks", {"conv3x3", "relu", "dwconv5x5_s2", "pool"});
+  return writer.to_string();
+}
+
+/// A small but complete journal (header + two batch records).
+std::string journal_bytes() {
+  const std::string path = testing::TempDir() + "/corruption_journal.tmp";
+  {
+    CampaignJournal journal(path, /*resume=*/false, /*durable=*/false);
+    CampaignHeader header;
+    header.config_crc = 0x11111111u;
+    header.seed = 5;
+    header.baseline_sessions = 2;
+    header.baselines = {1.0, 2.0, 3.0};
+    header.cost_seconds = 12.5;
+    header.rng_digest = 42;
+    journal.write_header(header);
+    BatchRecord record;
+    record.requested = 3;
+    record.request_crc = 0x22222222u;
+    record.sessions = 1;
+    record.has_qc = true;
+    record.qc.attempts = 1;
+    record.qc.passed = true;
+    record.report.requested = 3;
+    record.report.measured = 3;
+    record.report.qc_passed = true;
+    record.samples = {{0, 1.5}, {1, 2.5}, {2, 3.5}};
+    record.cost_total = 20.25;
+    record.rng_digest = 43;
+    journal.append_batch(record);
+    record.rng_digest = 44;
+    record.cost_total = 28.0;
+    journal.append_batch(record);
+  }
+  std::string bytes;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+    std::fclose(f);
+  }
+  std::remove(path.c_str());
+  return bytes;
+}
+
+// ----------------------------------------------------- archive matrix
+
+TEST(CorruptionMatrixTest, ArchiveTruncatedAtEvery64ByteBoundary) {
+  const std::string bytes = archive_bytes();
+  ASSERT_GT(bytes.size(), 256u);  // several sections to cut inside
+  for (std::size_t cut = 0; cut < bytes.size(); cut += 64) {
+    try {
+      ArchiveReader::from_string(bytes.substr(0, cut));
+      FAIL() << "truncation to " << cut << " bytes parsed successfully";
+    } catch (const ConfigError& e) {
+      EXPECT_FALSE(std::string(e.what()).empty()) << "cut at " << cut;
+    }
+    // Any other exception type escapes the EXPECT and fails the test.
+  }
+  // Sanity: the untruncated bytes parse and verify.
+  EXPECT_TRUE(ArchiveReader::from_string(bytes).checksummed());
+}
+
+TEST(CorruptionMatrixTest, ArchiveOneFlippedBytePerSectionIsRejected) {
+  const std::string bytes = archive_bytes();
+  for (std::size_t section = 0; section * 64 < bytes.size(); ++section) {
+    // Flip one byte in the middle of each 64-byte section.
+    const std::size_t pos =
+        std::min(section * 64 + 32, bytes.size() - 1);
+    std::string flipped = bytes;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ 0x08);
+    EXPECT_THROW(ArchiveReader::from_string(flipped), ConfigError)
+        << "flip at byte " << pos << " went undetected";
+  }
+}
+
+TEST(CorruptionMatrixTest, ArchiveErrorsNameTheProblem) {
+  // Errors must carry enough context to act on: the offending key, line,
+  // or the checksum pair — not a generic "parse error".
+  const std::string bytes = archive_bytes();
+  std::string flipped = bytes;
+  flipped[flipped.find("0.0009765625")] = '1';
+  try {
+    ArchiveReader::from_string(flipped);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    ArchiveReader::from_string("esm-archive v1\nw 3 1.0\n");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("'w'"), std::string::npos)
+        << e.what();
+  }
+}
+
+// ----------------------------------------------------- journal matrix
+
+TEST(CorruptionMatrixTest, JournalTruncatedAtEvery64ByteBoundary) {
+  const std::string bytes = journal_bytes();
+  const CampaignResume pristine = CampaignResume::from_string(bytes);
+  ASSERT_EQ(pristine.batches.size(), 2u);
+  for (std::size_t cut = 0; cut < bytes.size(); cut += 64) {
+    // Truncation damages only the tail, so resume must always recover:
+    // a (possibly empty) prefix of the pristine records, never a throw.
+    const CampaignResume resume =
+        CampaignResume::from_string(bytes.substr(0, cut));
+    EXPECT_LE(resume.batches.size(), pristine.batches.size());
+    EXPECT_LE(resume.valid_bytes, cut);
+  }
+}
+
+TEST(CorruptionMatrixTest, JournalOneFlippedBytePerSectionFailsClosed) {
+  const std::string bytes = journal_bytes();
+  const std::size_t last_line_start = bytes.rfind('\n', bytes.size() - 2) + 1;
+  for (std::size_t section = 0; section * 64 < bytes.size(); ++section) {
+    const std::size_t pos = std::min(section * 64 + 17, bytes.size() - 1);
+    std::string flipped = bytes;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ 0x02);
+    // Damage before the final record must be rejected as corruption;
+    // damage to the final record is a torn tail (recovered, re-measured).
+    // Either way nothing damaged may be served back as valid data.
+    try {
+      const CampaignResume resume = CampaignResume::from_string(flipped);
+      EXPECT_TRUE(resume.torn_tail) << "flip at byte " << pos;
+      // Recovery without an error is only legal when the damage reached
+      // the final line (a flipped separator newline merges INTO it, hence
+      // the -1), and the surviving records are a strict prefix.
+      EXPECT_GE(pos + 1, last_line_start) << "flip at byte " << pos;
+      EXPECT_LT(resume.batches.size(), 2u);
+    } catch (const ConfigError& e) {
+      EXPECT_FALSE(std::string(e.what()).empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace esm

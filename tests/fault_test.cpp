@@ -1,5 +1,5 @@
 // Tests for the fault-injection and fault-tolerance subsystem: profile
-// parsing, the unified measure() API and its deprecated wrappers, the
+// parsing, the unified measure() API and the session-replay hooks, the
 // determinism invariants (zero-profile bit-identity, unperturbed survivors,
 // 1-vs-N-thread invariance), retry/backoff accounting, and quarantine.
 #include <gtest/gtest.h>
@@ -132,34 +132,32 @@ TEST(RetryPolicyTest, JitterStaysWithinBand) {
 
 // ------------------------------------------------------ unified measure()
 
-TEST(UnifiedMeasureTest, DeprecatedWrappersMatchNewApi) {
+TEST(UnifiedMeasureTest, ReplaySessionsFastForwardsToIdenticalState) {
+  // The journal-resume contract: a fresh same-seed device fast-forwarded
+  // with replay_sessions(n) sits in exactly the state of a device that ran
+  // n real sessions of substream measurements (substream measurements
+  // never advance the sequential stream).
   const SupernetSpec spec = resnet_spec();
   const LayerGraph g = build_graph(spec, sample_archs(spec, 1, 5)[0]);
-  // Same seed, two devices: the wrapper on one must reproduce the unified
-  // call on the other draw for draw.
-  SimulatedDevice via_wrapper(rtx4090_spec(), 42);
-  SimulatedDevice via_measure(rtx4090_spec(), 42);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_DOUBLE_EQ(via_wrapper.measure_ms(g), via_measure.measure(g).value);
-  MeasureOptions trace_options;
-  trace_options.keep_trace = true;
-  EXPECT_EQ(via_wrapper.measure_trace_ms(g),
-            via_measure.measure(g, trace_options).trace);
-  MeasureOptions energy_options;
-  energy_options.quantity = MeasureQuantity::kEnergyMj;
-  EXPECT_DOUBLE_EQ(via_wrapper.measure_energy_mj(g),
-                   via_measure.measure(g, energy_options).value);
-  const StreamMeasurement sm = via_wrapper.measure_ms_stream(g, Rng(7));
-  MeasureOptions stream_options;
-  stream_options.noise = Rng(7);
-  const MeasureResult mr = via_measure.measure(g, stream_options);
-  EXPECT_DOUBLE_EQ(sm.value_ms, mr.value);
-  EXPECT_DOUBLE_EQ(sm.cost_seconds, mr.cost_seconds);
-#pragma GCC diagnostic pop
-  // Wrapper and unified calls burned identical sequential streams: the
-  // devices must still agree on the next measurement.
-  EXPECT_DOUBLE_EQ(via_wrapper.measure(g).value, via_measure.measure(g).value);
+  SimulatedDevice original(rtx4090_spec(), 42);
+  for (int s = 0; s < 4; ++s) {
+    original.begin_session();
+    MeasureOptions options;
+    options.noise = Rng(100 + static_cast<std::uint64_t>(s));
+    const MeasureResult r = original.measure(g, options);
+    original.add_measurement_cost(r.cost_seconds);
+  }
+  SimulatedDevice resumed(rtx4090_spec(), 42);
+  resumed.replay_sessions(4);
+  resumed.restore_measurement_cost(original.measurement_cost_seconds());
+  EXPECT_DOUBLE_EQ(resumed.measurement_cost_seconds(),
+                   original.measurement_cost_seconds());
+  // Both devices must agree on the entire next session, sequential stream
+  // included.
+  original.begin_session();
+  resumed.begin_session();
+  EXPECT_EQ(original.session_is_bad(), resumed.session_is_bad());
+  EXPECT_DOUBLE_EQ(original.measure(g).value, resumed.measure(g).value);
 }
 
 TEST(UnifiedMeasureTest, StreamModeLeavesCostToCaller) {
