@@ -31,6 +31,9 @@ add_executable(micro_perf bench/micro_perf.cpp)
 target_link_libraries(micro_perf PRIVATE esm_benchutil esm_warnings benchmark::benchmark)
 set_target_properties(micro_perf PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+esm_bench(serve_throughput)
+target_link_libraries(serve_throughput PRIVATE esm_serve)
+
 esm_bench(extension_energy)
 esm_bench(extension_transfer)
 esm_bench(extension_active_sampling)

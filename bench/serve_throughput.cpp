@@ -1,0 +1,216 @@
+// Serving throughput benchmark: drives the online prediction server over
+// in-process streams and reports sustained requests/s plus client-observed
+// latency percentiles for cold vs warm cache at 1 and 8 client threads.
+// Writes BENCH_serve.json next to the binary.
+//
+//   ./serve_throughput [--requests N] [--pool N] [--out PATH]
+//
+// "cold" runs with the prediction cache disabled, so every request goes
+// through the batcher and predict_all; "warm" primes the cache with the
+// whole request pool first, so the measured phase is answered from the
+// sharded LRU. Both phases issue the same request sequence, so the pair
+// isolates the cache's contribution.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/error.hpp"
+#include "encoding/registry.hpp"
+#include "ml/gbdt.hpp"
+#include "nets/builder.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "surrogate/gbdt_surrogate.hpp"
+#include "surrogate/registry.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Trains a small GBDT on ResNet and saves it where the server can load it.
+std::string build_artifact() {
+  const esm::SupernetSpec spec = esm::resnet_spec();
+  esm::SimulatedDevice device(esm::rtx4090_spec(), 7);
+  esm::Rng rng(0x5eed);
+  esm::BalancedSampler sampler(spec, 4);
+  const std::vector<esm::ArchConfig> archs = sampler.sample_n(64, rng);
+  std::vector<double> labels;
+  labels.reserve(archs.size());
+  for (const esm::ArchConfig& arch : archs) {
+    labels.push_back(device.true_latency_ms(esm::build_graph(spec, arch)));
+  }
+  esm::GbdtConfig gbdt;
+  gbdt.n_estimators = 30;
+  esm::GbdtSurrogate surrogate(esm::make_encoder("fcc", spec), gbdt);
+  surrogate.fit(esm::SurrogateDataset{archs, labels});
+  const std::string path = "serve_bench.esm";
+  esm::save_surrogate(surrogate, path);
+  return path;
+}
+
+/// Deterministic request pool: depth combinations with rotating per-unit
+/// kernel/expansion features (same shape tests/serve_test.cpp uses).
+std::vector<std::string> arch_pool(std::size_t limit) {
+  static const char* kFeatures[] = {"",        ":k5",       ":k7",
+                                    ":k3e1",   ":k5e0.667", ":k7e1",
+                                    ":k3e0.5", ":k5e1",     ":k7e0.667"};
+  std::vector<std::string> pool;
+  std::size_t n = 0;
+  for (int a = 1; a <= 7 && pool.size() < limit; ++a)
+    for (int b = 1; b <= 7 && pool.size() < limit; ++b)
+      for (int c = 1; c <= 7 && pool.size() < limit; ++c)
+        for (int d = 1; d <= 7 && pool.size() < limit; ++d) {
+          const int depths[4] = {a, b, c, d};
+          std::string request;
+          for (std::size_t u = 0; u < 4; ++u) {
+            if (u > 0) request += ',';
+            request += std::to_string(depths[u]);
+            request += kFeatures[(n + u * 3) % 9];
+          }
+          ++n;
+          pool.push_back(std::move(request));
+        }
+  return pool;
+}
+
+struct ScenarioResult {
+  std::string name;
+  int clients = 1;
+  bool warm = false;
+  std::size_t requests = 0;
+  double req_per_s = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+double percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const std::size_t index = std::min(
+      sorted_us.size() - 1,
+      static_cast<std::size_t>(p / 100.0 *
+                               static_cast<double>(sorted_us.size())));
+  return sorted_us[index];
+}
+
+ScenarioResult run_scenario(const std::string& artifact,
+                            const std::vector<std::string>& pool, int clients,
+                            bool warm, std::size_t requests_per_client) {
+  esm::serve::ServeConfig config;
+  config.artifact_path = artifact;
+  config.cache_capacity = warm ? 4096 : 0;
+  esm::serve::PredictionServer server(config);
+
+  std::vector<esm::serve::ServeClient> sessions;
+  sessions.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    esm::serve::StreamPair pair = esm::serve::make_stream_pair();
+    server.serve(pair.server);
+    sessions.emplace_back(pair.client);
+  }
+  if (warm) {
+    // Prime every pool entry so the measured phase is all cache hits.
+    for (const std::string& arch : pool) sessions[0].predict(arch);
+  }
+
+  std::vector<std::vector<double>> latencies_us(
+      static_cast<std::size_t>(clients));
+  const Clock::time_point begin = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<double>& mine = latencies_us[static_cast<std::size_t>(c)];
+      mine.reserve(requests_per_client);
+      for (std::size_t i = 0; i < requests_per_client; ++i) {
+        const std::string& arch =
+            pool[(static_cast<std::size_t>(c) * 7919 + i * 13) % pool.size()];
+        const Clock::time_point start = Clock::now();
+        sessions[static_cast<std::size_t>(c)].predict(arch);
+        mine.push_back(
+            std::chrono::duration<double, std::micro>(Clock::now() - start)
+                .count());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - begin).count();
+
+  std::vector<double> all_us;
+  for (const std::vector<double>& per_client : latencies_us) {
+    all_us.insert(all_us.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all_us.begin(), all_us.end());
+
+  ScenarioResult result;
+  result.name = std::string(warm ? "warm" : "cold") + "_" +
+                std::to_string(clients) +
+                (clients == 1 ? "_client" : "_clients");
+  result.clients = clients;
+  result.warm = warm;
+  result.requests = all_us.size();
+  result.req_per_s =
+      elapsed_s > 0.0 ? static_cast<double>(all_us.size()) / elapsed_s : 0.0;
+  result.p50_us = percentile(all_us, 50);
+  result.p95_us = percentile(all_us, 95);
+  result.p99_us = percentile(all_us, 99);
+  return result;
+}
+
+void write_json(const std::string& path,
+                const std::vector<ScenarioResult>& results) {
+  std::ofstream out(path);
+  ESM_REQUIRE(out.good(), "cannot open " << path << " for writing");
+  out << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    out << "  {\"name\": \"" << r.name << "\", \"clients\": " << r.clients
+        << ", \"warm_cache\": " << (r.warm ? "true" : "false")
+        << ", \"requests\": " << r.requests
+        << ", \"req_per_s\": " << r.req_per_s << ", \"p50_us\": " << r.p50_us
+        << ", \"p95_us\": " << r.p95_us << ", \"p99_us\": " << r.p99_us << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  esm::ArgParser args(
+      "serve_throughput: requests/s and latency percentiles of the online "
+      "prediction server, cold vs warm cache, 1 and 8 client threads");
+  args.add_int("requests", 2000, "requests per client thread per scenario");
+  args.add_int("pool", 311, "distinct architectures in the request pool");
+  args.add_string("out", "BENCH_serve.json", "output JSON path");
+  if (!args.parse(argc, argv)) return 0;
+
+  const std::string artifact = build_artifact();
+  const std::vector<std::string> pool =
+      arch_pool(static_cast<std::size_t>(args.get_int("pool")));
+  const std::size_t per_client =
+      static_cast<std::size_t>(args.get_int("requests"));
+
+  std::vector<ScenarioResult> results;
+  for (const bool warm : {false, true}) {
+    for (const int clients : {1, 8}) {
+      results.push_back(run_scenario(artifact, pool, clients, warm,
+                                     per_client));
+      const ScenarioResult& r = results.back();
+      std::cout << r.name << ": " << r.requests << " requests, "
+                << static_cast<long long>(r.req_per_s) << " req/s, p50 "
+                << r.p50_us << " us, p95 " << r.p95_us << " us, p99 "
+                << r.p99_us << " us\n";
+    }
+  }
+  write_json(args.get_string("out"), results);
+  std::cout << "wrote " << args.get_string("out") << "\n";
+  return 0;
+}

@@ -8,7 +8,10 @@
 //   predict   load an artifact (positional PATH or --model) and price
 //             sampled architectures. The printed predictions are
 //             bit-identical to the verification block `train` printed for
-//             the same --seed/--count, across processes.
+//             the same --seed/--count, across processes. With --stdin,
+//             read arch requests one per line (the serve-protocol grammar,
+//             parsed by the same parse_arch_request()) and emit
+//             full-precision CSV instead.
 //   eval      load an artifact and score it bin-wise against freshly
 //             measured latencies on a simulated device.
 //   search    load an artifact and run latency-constrained evolutionary
@@ -52,6 +55,7 @@
 #include "nas/accuracy_proxy.hpp"
 #include "nas/search.hpp"
 #include "nets/builder.hpp"
+#include "serve/protocol.hpp"
 #include "surrogate/registry.hpp"
 
 namespace {
@@ -143,9 +147,40 @@ int run_train(const esm::ArgParser& args) {
   return result.converged ? 0 : 2;
 }
 
+/// Batch mode: reads architecture requests one per line from stdin — the
+/// same grammar the serve protocol and --archs files use, through the same
+/// parse_arch_request() — and emits full-precision CSV on stdout. Blank
+/// lines and '#' comments are skipped; a malformed line aborts with its
+/// line number (exit 1) before anything is priced.
+int run_predict_stdin(const esm::TrainableSurrogate& predictor) {
+  const esm::SupernetSpec& spec = predictor.spec();
+  std::vector<esm::ArchConfig> archs;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(std::cin, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      archs.push_back(esm::serve::parse_arch_request(spec, line));
+    } catch (const esm::ConfigError& e) {
+      ESM_REQUIRE(false, "stdin:" << line_no << ": " << e.what());
+    }
+  }
+  const std::vector<double> predicted = predictor.predict_all(archs);
+  std::cout << "arch,predicted_ms\n";
+  for (std::size_t i = 0; i < archs.size(); ++i) {
+    std::cout << archs[i].to_string() << ',' << format_full(predicted[i])
+              << '\n';
+  }
+  return 0;
+}
+
 int run_predict(const esm::ArgParser& args) {
   const std::unique_ptr<esm::TrainableSurrogate> predictor =
       esm::load_surrogate(args.get_string("model"));
+  if (args.get_bool("stdin")) return run_predict_stdin(*predictor);
   const esm::SupernetSpec& spec = predictor->spec();
   std::cout << "Loaded " << predictor->name() << " (kind '"
             << predictor->kind() << "', encoder '" << predictor->encoder_key()
@@ -250,17 +285,15 @@ int run_search(const esm::ArgParser& args) {
   return 0;
 }
 
-/// Loads architectures from a text file: one per line, comma-separated
-/// per-unit depths ("3,5,2,7"); blank lines and '#' comments are skipped.
-/// Blocks take the space's first kernel/expansion option — the format
-/// targets the depth dimension, which is what binning and QC care about.
+/// Loads architectures from a text file: one request per line in the shared
+/// serve-protocol grammar (comma-separated per-unit depths like "3,5,2,7",
+/// optionally "<depth>:k<kernel>e<expansion>" per unit); blank lines and
+/// '#' comments are skipped. Parsing is parse_arch_request() — the same
+/// code path the prediction server and `predict --stdin` use.
 std::vector<esm::ArchConfig> load_arch_file(const esm::SupernetSpec& spec,
                                             const std::string& path) {
   std::ifstream in(path);
   ESM_REQUIRE(in.good(), "cannot open arch file " << path);
-  const int kernel = spec.kernel_options.front();
-  const double expansion =
-      spec.expansion_options.empty() ? 1.0 : spec.expansion_options.front();
   std::vector<esm::ArchConfig> archs;
   std::string line;
   std::size_t line_no = 0;
@@ -269,24 +302,11 @@ std::vector<esm::ArchConfig> load_arch_file(const esm::SupernetSpec& spec,
     const std::size_t hash = line.find('#');
     if (hash != std::string::npos) line = line.substr(0, hash);
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    esm::ArchConfig arch;
-    arch.kind = spec.kind;
-    std::istringstream fields(line);
-    std::string field;
-    while (std::getline(fields, field, ',')) {
-      int depth = 0;
-      try {
-        depth = std::stoi(field);
-      } catch (const std::exception&) {
-        ESM_REQUIRE(false, path << ":" << line_no << ": '" << field
-                                << "' is not a depth");
-      }
-      esm::UnitConfig unit;
-      unit.blocks.assign(static_cast<std::size_t>(depth), {kernel, expansion});
-      arch.units.push_back(std::move(unit));
+    try {
+      archs.push_back(esm::serve::parse_arch_request(spec, line));
+    } catch (const esm::ConfigError& e) {
+      ESM_REQUIRE(false, path << ":" << line_no << ": " << e.what());
     }
-    spec.validate(arch);
-    archs.push_back(std::move(arch));
   }
   ESM_REQUIRE(!archs.empty(), "arch file " << path << " holds no architectures");
   return archs;
@@ -528,6 +548,10 @@ int main(int argc, char** argv) {
   args.add_string("out", "",
                   "write the measured dataset as full-precision CSV here "
                   "(measure)");
+  args.add_bool("stdin",
+                "predict: read arch requests one per line from stdin (same "
+                "grammar as the serve protocol) and emit full-precision "
+                "CSV on stdout");
   args.add_int("threads", 0, "worker threads (measure); 0 = hardware");
   args.add_int("seed", 42, "seed");
 

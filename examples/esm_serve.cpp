@@ -1,0 +1,293 @@
+// esm_serve — loopback-TCP front end for the online prediction server.
+//
+// Server mode:
+//   esm_serve model.esm [--port N] [--port-file PATH] [--cache N]
+//             [--max-batch N] [--summary-s SEC] [--threads N]
+//   Binds 127.0.0.1:N (N = 0 lets the kernel pick; the chosen port is
+//   printed as "listening on 127.0.0.1:<port>" and written to --port-file
+//   when given), then serves the newline-delimited protocol of
+//   src/serve/protocol.hpp to any number of concurrent clients. SIGINT and
+//   SIGTERM (and the protocol's `shutdown` verb) drain in-flight requests
+//   before exit; a final stats summary goes to stderr.
+//
+// Client mode:
+//   esm_serve --connect PORT [--host H]
+//   Reads request lines from stdin, prints each response line to stdout.
+//   Exit 0 when every response was ok, 2 when any response was an error,
+//   1 on connection failure — which is what scripts/ci.sh's loopback smoke
+//   test checks.
+//
+// Example:
+//   esm_cli train --surrogate gbdt -o model.esm
+//   esm_serve model.esm --port 0 &
+//   printf 'predict 3,5,2,7\nstats\nshutdown\n' | esm_serve --connect <port>
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/argparse.hpp"
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+/// Stream over a connected TCP socket: buffered line reads bounded by
+/// `max_line`, full-line writes, and a close() that shuts the socket down
+/// so a blocked reader unblocks (the fd itself is closed in the
+/// destructor, keeping the fd number stable against reuse races).
+class TcpStream final : public esm::serve::Stream {
+ public:
+  TcpStream(int fd, std::size_t max_line) : fd_(fd), max_line_(max_line) {}
+  ~TcpStream() override {
+    close();
+    ::close(fd_);
+  }
+
+  bool read_line(std::string& line) override {
+    line.clear();
+    for (;;) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        return true;
+      }
+      // A peer that streams more than max_line_ bytes without a newline
+      // cannot be resynchronized; drop the connection.
+      if (buffer_.size() > max_line_ + 2) return false;
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        // Deliver a final unterminated line, if any.
+        if (!buffer_.empty()) {
+          line.swap(buffer_);
+          return true;
+        }
+        return false;
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  bool write_line(const std::string& line) override {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    std::string framed = line;
+    framed += '\n';
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n =
+          ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  void close() override {
+    bool expected = false;
+    if (shut_.compare_exchange_strong(expected, true)) {
+      ::shutdown(fd_, SHUT_RDWR);
+    }
+  }
+
+ private:
+  int fd_;
+  std::size_t max_line_;
+  std::string buffer_;
+  std::mutex write_mutex_;
+  std::atomic<bool> shut_{false};
+};
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+int run_server(const esm::ArgParser& args) {
+  const int threads = static_cast<int>(args.get_int("threads"));
+  if (threads > 0) esm::set_thread_count(threads);
+
+  esm::serve::ServeConfig config;
+  config.artifact_path = args.get_string("model");
+  config.cache_capacity = static_cast<std::size_t>(args.get_int("cache"));
+  config.max_batch = static_cast<std::size_t>(args.get_int("max-batch"));
+  config.summary_period_s = args.get_double("summary-s");
+  esm::serve::PredictionServer server(config);
+  const esm::serve::MetricsSnapshot boot = server.metrics();
+  std::cout << "serving " << boot.kind << " (" << boot.space << ", encoder "
+            << boot.encoder << ") from " << boot.artifact << " [crc32 "
+            << boot.artifact_crc32 << "]\n";
+
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ESM_REQUIRE(listen_fd >= 0, "socket(): " << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(args.get_int("port")));
+  ESM_REQUIRE(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0,
+              "bind(127.0.0.1:" << args.get_int("port")
+                                << "): " << std::strerror(errno));
+  ESM_REQUIRE(::listen(listen_fd, 64) == 0,
+              "listen(): " << std::strerror(errno));
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  const int port = ntohs(addr.sin_port);
+  std::cout << "listening on 127.0.0.1:" << port << std::endl;
+  const std::string port_file = args.get_string("port-file");
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    out << port << "\n";
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  // Accept loop: poll with a short timeout so SIGINT/SIGTERM and the
+  // protocol-level shutdown verb are both noticed promptly.
+  while (!g_stop.load() && !server.stopping()) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0 || !(pfd.revents & POLLIN)) continue;
+    const int client_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (client_fd < 0) continue;
+    server.serve(std::make_shared<TcpStream>(
+        client_fd, esm::serve::ServeConfig{}.max_line_bytes));
+  }
+  ::close(listen_fd);
+
+  // Drain: in-flight requests are answered before the threads join.
+  server.request_stop();
+  server.wait();
+  std::fprintf(stderr, "%s\n",
+               esm::serve::ServerMetrics::summary_line(server.metrics())
+                   .c_str());
+  return 0;
+}
+
+int run_client(const esm::ArgParser& args) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::cerr << "error: socket(): " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(args.get_int("connect")));
+  if (::inet_pton(AF_INET, args.get_string("host").c_str(), &addr.sin_addr) !=
+      1) {
+    std::cerr << "error: bad --host\n";
+    ::close(fd);
+    return 1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::cerr << "error: connect(" << args.get_string("host") << ":"
+              << args.get_int("connect") << "): " << std::strerror(errno)
+              << "\n";
+    ::close(fd);
+    return 1;
+  }
+  auto stream = std::make_shared<TcpStream>(
+      fd, esm::serve::ServeConfig{}.max_line_bytes);
+  bool any_error = false;
+  std::string request;
+  while (std::getline(std::cin, request)) {
+    if (request.empty()) continue;
+    if (!stream->write_line(request)) {
+      std::cerr << "error: server closed the connection\n";
+      return 1;
+    }
+    std::string response;
+    if (!stream->read_line(response)) {
+      std::cerr << "error: no response (server closed)\n";
+      return 1;
+    }
+    std::cout << response << "\n";
+    esm::serve::ParsedResponse parsed;
+    if (!esm::serve::parse_response(response, parsed) || !parsed.ok) {
+      any_error = true;
+    }
+  }
+  return any_error ? 2 : 0;
+}
+
+/// Turns a bare positional token into the --model value (mirrors esm_cli).
+std::vector<const char*> normalize_args(int argc, char** argv,
+                                        std::vector<std::string>& storage) {
+  storage.clear();
+  bool prev_expects_value = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!arg.empty() && arg[0] != '-' && !prev_expects_value) {
+      storage.push_back("--model=" + arg);
+    } else {
+      storage.push_back(arg);
+      prev_expects_value =
+          arg.size() > 2 && arg[0] == '-' && arg.find('=') == std::string::npos;
+    }
+  }
+  std::vector<const char*> out;
+  out.push_back(argv[0]);
+  for (const std::string& s : storage) out.push_back(s.c_str());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  esm::ArgParser args(
+      "esm_serve MODEL.esm: serve latency predictions over loopback TCP "
+      "(newline-delimited protocol: predict, predict_batch, info, stats, "
+      "reload, shutdown). With --connect PORT, run as a line client "
+      "instead.");
+  args.add_string("model", "", "surrogate artifact to serve");
+  args.add_int("port", 0, "TCP port to bind on 127.0.0.1 (0 = kernel picks)");
+  args.add_string("port-file", "",
+                  "write the bound port number to this file once listening");
+  args.add_int("cache", 4096, "prediction cache capacity (0 disables)");
+  args.add_int("max-batch", 64, "max architectures per coalesced dispatch");
+  args.add_double("summary-s", 10.0,
+                  "seconds between stderr stats summaries (0 disables)");
+  args.add_int("threads", 0,
+               "prediction threads (0 = ESM_THREADS / serial default)");
+  args.add_int("connect", 0, "client mode: connect to this port");
+  args.add_string("host", "127.0.0.1", "client mode: host to connect to");
+
+  std::vector<std::string> storage;
+  const std::vector<const char*> rewritten =
+      normalize_args(argc, argv, storage);
+  if (!args.parse(static_cast<int>(rewritten.size()), rewritten.data())) {
+    return 0;
+  }
+  try {
+    if (args.get_int("connect") > 0) return run_client(args);
+    ESM_REQUIRE(!args.get_string("model").empty(),
+                "server mode needs a MODEL.esm path (or use --connect)");
+    return run_server(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

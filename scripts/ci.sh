@@ -4,11 +4,14 @@
 #   scripts/ci.sh         fast tier: build + sub-minute `ctest -L fast`
 #   scripts/ci.sh full    fast tier, then the remaining (slow) suites, then
 #                         a kill -9 resume smoke test of `esm_cli measure
-#                         --journal/--resume`, then an ASan build running
-#                         the surrogate + esm + corruption-matrix suites,
-#                         then a TSan build running the fault + parallel +
-#                         journal suites (journal writes sit on the ordered
-#                         reduction path of the thread pool)
+#                         --journal/--resume`, then a loopback smoke test of
+#                         the esm_serve server binary, then an ASan build
+#                         running the surrogate + esm + corruption-matrix
+#                         suites, then a TSan build running the fault +
+#                         parallel + journal + serve suites (journal writes
+#                         sit on the ordered reduction path of the thread
+#                         pool; serve exercises sessions, batcher, and cache
+#                         concurrently)
 #
 # Thread-count invariance is covered inside the suites themselves
 # (parallel_test pins 1-thread vs 8-thread bit-identity), so CI only needs
@@ -52,6 +55,33 @@ cmp "$SMOKE_DIR/golden.csv" "$SMOKE_DIR/resumed.csv" \
   || { echo "kill -9 resume smoke test FAILED: dataset differs"; exit 1; }
 echo "resumed dataset is byte-identical to the uninterrupted run"
 
+echo "== esm_serve loopback smoke test =="
+# Train a tiny artifact, serve it on a kernel-picked loopback port, then
+# drive predict/stats/shutdown through the client mode. Checks the whole
+# TCP path: bind, accept, framed protocol, drain on shutdown, exit codes.
+# (train exit 2 = budget exhausted before Acc_TH; the artifact is saved.)
+build/examples/esm_cli train --surrogate gbdt --n-initial 48 --n-step 16 \
+  --max-iters 1 --model "$SMOKE_DIR/serve.esm" >/dev/null || [ $? -eq 2 ]
+build/examples/esm_serve "$SMOKE_DIR/serve.esm" --port 0 \
+  --port-file "$SMOKE_DIR/port" --summary-s 0 >/dev/null 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$SMOKE_DIR/port" ] && break
+  sleep 0.1
+done
+[ -s "$SMOKE_DIR/port" ] || { echo "esm_serve never published its port"; exit 1; }
+SERVE_PORT="$(cat "$SMOKE_DIR/port")"
+printf 'predict 3,5,2,7\nstats\nshutdown\n' \
+  | build/examples/esm_serve --connect "$SERVE_PORT" > "$SMOKE_DIR/serve.out" \
+  || { echo "esm_serve client reported an error"; exit 1; }
+grep -q "^esm1 ok predict " "$SMOKE_DIR/serve.out" \
+  || { echo "loopback predict failed"; cat "$SMOKE_DIR/serve.out"; exit 1; }
+grep -q "^esm1 ok stats .*requests=1" "$SMOKE_DIR/serve.out" \
+  || { echo "loopback stats failed"; cat "$SMOKE_DIR/serve.out"; exit 1; }
+wait "$SERVE_PID" \
+  || { echo "esm_serve exited non-zero after shutdown"; exit 1; }
+echo "loopback serve smoke test passed"
+
 echo "== asan tier (surrogate + esm + corruption suites) =="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DESM_SANITIZE=address >/dev/null
@@ -60,12 +90,12 @@ cmake --build build-asan -j "$JOBS" \
 ctest --test-dir build-asan --output-on-failure \
   -R '^(surrogate_test|surrogate_registry_test|esm_test|corruption_test)$'
 
-echo "== tsan tier (fault + parallel + journal suites) =="
+echo "== tsan tier (fault + parallel + journal + serve suites) =="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DESM_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
-  --target fault_test parallel_test journal_test
+  --target fault_test parallel_test journal_test serve_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R '^(fault_test|parallel_test|journal_test)$'
+  -R '^(fault_test|parallel_test|journal_test|serve_test)$'
 
 echo "CI full tier passed."

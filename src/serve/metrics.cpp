@@ -1,0 +1,169 @@
+#include "serve/metrics.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace esm::serve {
+namespace {
+
+std::size_t bucket_index(double us) {
+  if (!(us >= 1.0)) return 0;  // [0, 1) us and any NaN/negative input
+  const std::size_t i =
+      1 + static_cast<std::size_t>(std::floor(std::log2(us)));
+  return std::min(i, LatencyHistogram::kBuckets - 1);
+}
+
+double bucket_upper_bound_us(std::size_t index) {
+  if (index == 0) return 1.0;
+  return std::ldexp(1.0, static_cast<int>(index));  // 2^index
+}
+
+}  // namespace
+
+void LatencyHistogram::record_us(double us) {
+  buckets_[bucket_index(us)].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double LatencyHistogram::percentile_us(double p) const {
+  std::array<std::uint64_t, kBuckets> snap{};
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    snap[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snap[i];
+  }
+  if (total == 0) return 0.0;
+  // Rank of the percentile sample, 1-based, clamped into [1, total].
+  const double raw_rank = std::ceil(p / 100.0 * static_cast<double>(total));
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      std::min(std::max(raw_rank, 1.0), static_cast<double>(total)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += snap[i];
+    if (cumulative >= rank) return bucket_upper_bound_us(i);
+  }
+  return bucket_upper_bound_us(kBuckets - 1);
+}
+
+ServerMetrics::ServerMetrics() : start_(std::chrono::steady_clock::now()) {}
+
+void ServerMetrics::count_predict_line(bool all_from_cache) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  (all_from_cache ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServerMetrics::count_predict_error() {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  errors_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServerMetrics::count_archs(std::uint64_t hits, std::uint64_t misses) {
+  archs_.fetch_add(hits + misses, std::memory_order_relaxed);
+  arch_hits_.fetch_add(hits, std::memory_order_relaxed);
+  arch_misses_.fetch_add(misses, std::memory_order_relaxed);
+}
+
+void ServerMetrics::count_control_line(bool error) {
+  control_requests_.fetch_add(1, std::memory_order_relaxed);
+  if (error) control_errors_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServerMetrics::count_batch(std::size_t n) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_archs_.fetch_add(n, std::memory_order_relaxed);
+  std::uint64_t seen = max_batch_.load(std::memory_order_relaxed);
+  while (n > seen &&
+         !max_batch_.compare_exchange_weak(seen, n,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+void ServerMetrics::count_reload() {
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServerMetrics::record_latency_us(double us) { latency_.record_us(us); }
+
+void ServerMetrics::set_artifact(const std::string& path,
+                                 const std::string& crc32_hex,
+                                 const std::string& kind,
+                                 const std::string& encoder,
+                                 const std::string& space) {
+  std::lock_guard<std::mutex> lock(identity_mutex_);
+  artifact_ = path;
+  artifact_crc32_ = crc32_hex;
+  kind_ = kind;
+  encoder_ = encoder;
+  space_ = space;
+}
+
+MetricsSnapshot ServerMetrics::snapshot() const {
+  MetricsSnapshot snap;
+  snap.requests = requests_.load(std::memory_order_relaxed);
+  snap.hits = hits_.load(std::memory_order_relaxed);
+  snap.misses = misses_.load(std::memory_order_relaxed);
+  snap.errors = errors_.load(std::memory_order_relaxed);
+  snap.archs = archs_.load(std::memory_order_relaxed);
+  snap.arch_hits = arch_hits_.load(std::memory_order_relaxed);
+  snap.arch_misses = arch_misses_.load(std::memory_order_relaxed);
+  snap.control_requests = control_requests_.load(std::memory_order_relaxed);
+  snap.control_errors = control_errors_.load(std::memory_order_relaxed);
+  snap.batches = batches_.load(std::memory_order_relaxed);
+  snap.batched_archs = batched_archs_.load(std::memory_order_relaxed);
+  snap.max_batch = max_batch_.load(std::memory_order_relaxed);
+  snap.reloads = reloads_.load(std::memory_order_relaxed);
+  snap.p50_us = latency_.percentile_us(50.0);
+  snap.p95_us = latency_.percentile_us(95.0);
+  snap.p99_us = latency_.percentile_us(99.0);
+  snap.uptime_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+  {
+    std::lock_guard<std::mutex> lock(identity_mutex_);
+    snap.artifact = artifact_;
+    snap.artifact_crc32 = artifact_crc32_;
+    snap.kind = kind_;
+    snap.encoder = encoder_;
+    snap.space = space_;
+  }
+  return snap;
+}
+
+std::string ServerMetrics::stats_payload(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  os << "requests=" << snap.requests << " hits=" << snap.hits
+     << " misses=" << snap.misses << " errors=" << snap.errors
+     << " archs=" << snap.archs << " arch_hits=" << snap.arch_hits
+     << " arch_misses=" << snap.arch_misses
+     << " control_requests=" << snap.control_requests
+     << " control_errors=" << snap.control_errors
+     << " batches=" << snap.batches
+     << " batched_archs=" << snap.batched_archs
+     << " max_batch=" << snap.max_batch << " reloads=" << snap.reloads
+     << " p50_us=" << snap.p50_us << " p95_us=" << snap.p95_us
+     << " p99_us=" << snap.p99_us
+     << " uptime_s=" << format_double(snap.uptime_s, 3)
+     << " kind=" << snap.kind << " artifact_crc32=" << snap.artifact_crc32
+     << " artifact=" << snap.artifact;
+  return os.str();
+}
+
+std::string ServerMetrics::summary_line(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  os << "[esm_serve] up " << format_double(snap.uptime_s, 1) << "s  "
+     << snap.requests << " req (" << snap.hits << " hit / " << snap.misses
+     << " miss / " << snap.errors << " err)  p50/p95/p99 " << snap.p50_us
+     << "/" << snap.p95_us << "/" << snap.p99_us << " us  serving "
+     << snap.kind << " from " << snap.artifact << " (reloads "
+     << snap.reloads << ")";
+  return os.str();
+}
+
+}  // namespace esm::serve

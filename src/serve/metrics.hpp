@@ -1,0 +1,134 @@
+// Live serving metrics: lock-free counters, a log-bucketed service-latency
+// histogram with p50/p95/p99, uptime, and the loaded-artifact identity.
+// Surfaced through the protocol's `stats` verb and the server's periodic
+// stderr summary.
+//
+// Counter accounting contract (pinned by tests/serve_test.cpp): every
+// `predict`/`predict_batch` request line increments `requests` exactly once
+// and is classified as exactly one of `hits` (answered entirely from
+// cache), `misses` (at least one prediction computed), or `errors`
+// (structured error reply) — so requests == hits + misses + errors always.
+// Per-architecture accounting runs alongside: archs == arch_hits +
+// arch_misses, and every arch miss passes through exactly one dispatched
+// batch, so batched_archs == arch_misses. Control verbs (info, stats,
+// reload, shutdown, unknown) are tallied separately in control_requests /
+// control_errors and never disturb the prediction identity.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace esm::serve {
+
+/// Log2-bucketed latency histogram over microseconds: bucket 0 holds
+/// [0, 1) us, bucket i >= 1 holds [2^(i-1), 2^i) us. Recording is a single
+/// relaxed atomic increment; percentiles are read from a snapshot and
+/// report the bucket's upper bound (a deterministic, conservative value).
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  void record_us(double us);
+  std::uint64_t count() const;
+
+  /// p in [0, 100]; 0 when nothing was recorded.
+  double percentile_us(double p) const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// One coherent read of every counter plus derived fields.
+struct MetricsSnapshot {
+  std::uint64_t requests = 0;  ///< predict + predict_batch lines
+  std::uint64_t hits = 0;      ///< lines answered entirely from cache
+  std::uint64_t misses = 0;    ///< lines that computed >= 1 prediction
+  std::uint64_t errors = 0;    ///< lines answered with a structured error
+  std::uint64_t archs = 0;     ///< individual architectures priced
+  std::uint64_t arch_hits = 0;
+  std::uint64_t arch_misses = 0;
+  std::uint64_t control_requests = 0;  ///< info/stats/reload/shutdown lines
+  std::uint64_t control_errors = 0;    ///< unknown verbs, malformed control
+  std::uint64_t batches = 0;           ///< predict_all dispatches
+  std::uint64_t batched_archs = 0;     ///< archs over all dispatches
+  std::uint64_t max_batch = 0;         ///< largest single dispatch
+  std::uint64_t reloads = 0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double uptime_s = 0.0;
+  std::string artifact;  ///< path of the served artifact
+  std::string artifact_crc32;
+  std::string kind;
+  std::string encoder;
+  std::string space;
+};
+
+/// Thread-safe metrics sink owned by the server; sessions and the batcher
+/// record into it concurrently.
+class ServerMetrics {
+ public:
+  ServerMetrics();
+
+  /// Classifies one predict/predict_batch line; exactly one of hit, miss,
+  /// or (via count_predict_error) error per line.
+  void count_predict_line(bool all_from_cache);
+  void count_predict_error();
+
+  /// Per-architecture accounting inside prediction lines.
+  void count_archs(std::uint64_t hits, std::uint64_t misses);
+
+  /// Classifies one control line (info/stats/reload/shutdown/unknown).
+  void count_control_line(bool error);
+
+  /// Records one dispatched predict_all batch of `n` architectures.
+  void count_batch(std::size_t n);
+
+  void count_reload();
+
+  /// Records end-to-end service time of one request line.
+  void record_latency_us(double us);
+
+  /// Sets the served-artifact identity shown by info/stats.
+  void set_artifact(const std::string& path, const std::string& crc32_hex,
+                    const std::string& kind, const std::string& encoder,
+                    const std::string& space);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Renders a snapshot as the `stats` verb's "k=v ..." payload.
+  static std::string stats_payload(const MetricsSnapshot& snap);
+
+  /// One-line human summary for the periodic stderr report.
+  static std::string summary_line(const MetricsSnapshot& snap);
+
+ private:
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> archs_{0};
+  std::atomic<std::uint64_t> arch_hits_{0};
+  std::atomic<std::uint64_t> arch_misses_{0};
+  std::atomic<std::uint64_t> control_requests_{0};
+  std::atomic<std::uint64_t> control_errors_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_archs_{0};
+  std::atomic<std::uint64_t> max_batch_{0};
+  std::atomic<std::uint64_t> reloads_{0};
+  LatencyHistogram latency_;
+  std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex identity_mutex_;
+  std::string artifact_;
+  std::string artifact_crc32_;
+  std::string kind_;
+  std::string encoder_;
+  std::string space_;
+};
+
+}  // namespace esm::serve

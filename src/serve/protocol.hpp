@@ -1,0 +1,163 @@
+// Wire protocol for the online prediction server: newline-delimited framed
+// requests with versioned one-line responses, a transport abstraction
+// (Stream) with an in-process pair for deterministic tests, the shared
+// architecture-request parser, and a small typed client.
+//
+// Request grammar (one line per request, no version prefix):
+//   predict <arch>            price one architecture
+//   predict_batch <arch>(;<arch>)*   price several in one request
+//   info                      loaded-artifact identity
+//   stats                     live counters + latency percentiles
+//   reload <path>             hot-swap the served artifact
+//   shutdown                  drain in-flight requests, then stop
+//
+// <arch> is a comma-separated per-unit depth list ("3,5,2,7"), optionally
+// refined per unit with block features: "<depth>:k<kernel>" or
+// "<depth>:k<kernel>e<expansion>" (the feature applies to every block of
+// that unit; omitted features take the space's first option). This is the
+// exact grammar `esm_cli measure --archs` files and `predict --stdin` use —
+// parse_arch_request() is the single shared implementation.
+//
+// Response grammar (one line per request, in request order):
+//   esm1 ok <verb> <payload>
+//   esm1 err <code> <detail...>
+// The "esm1" prefix versions the response framing; clients reject other
+// prefixes. Error codes are stable tokens (kErr* below); the detail is
+// human-readable free text on the rest of the line.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nets/arch.hpp"
+#include "nets/supernet.hpp"
+
+namespace esm::serve {
+
+/// Response-framing version token; bump on incompatible response changes.
+inline constexpr const char* kResponsePrefix = "esm1";
+
+// Stable error codes.
+inline constexpr const char* kErrBadRequest = "bad_request";
+inline constexpr const char* kErrBadArch = "bad_arch";
+inline constexpr const char* kErrUnknownVerb = "unknown_verb";
+inline constexpr const char* kErrOversized = "oversized";
+inline constexpr const char* kErrReloadFailed = "reload_failed";
+inline constexpr const char* kErrServerError = "server_error";
+
+/// Verb + rest-of-line payload of a request ("" when absent). The verb of
+/// an empty line is "".
+struct ParsedRequest {
+  std::string verb;
+  std::string payload;
+};
+
+/// Splits a raw request line at the first space; trims a trailing '\r'.
+ParsedRequest split_request(const std::string& line);
+
+/// Formats "esm1 ok <verb> <payload>"; a trailing payload space is omitted
+/// when the payload is empty.
+std::string format_ok(const std::string& verb, const std::string& payload);
+
+/// Formats "esm1 err <code> <detail>". Newlines in the detail are replaced
+/// with spaces so the response stays one frame.
+std::string format_error(const std::string& code, const std::string& detail);
+
+/// A response split into its three fields.
+struct ParsedResponse {
+  bool ok = false;
+  std::string verb_or_code;  ///< verb for ok, error code for err
+  std::string payload;       ///< rest of the line
+};
+
+/// Parses a response line; returns false when the line is not a versioned
+/// esm1 response.
+bool parse_response(const std::string& line, ParsedResponse& out);
+
+/// Parses a "k1=v1 k2=v2 ..." payload (info/stats responses) into a map.
+std::map<std::string, std::string> parse_kv_payload(const std::string& payload);
+
+/// Full-precision latency formatting used by responses and CSV output
+/// ("%.17g": round-trips a double exactly).
+std::string format_latency(double value_ms);
+
+/// Parses one architecture request against `spec` — the shared parser for
+/// the server protocol, `esm_cli measure --archs` files, and `esm_cli
+/// predict --stdin`. Grammar: comma-separated units, each "<depth>",
+/// "<depth>:k<kernel>", or "<depth>:k<kernel>e<expansion>". Expansions are
+/// snapped to the nearest spec option within 1e-2 (so "0.667" selects 2/3).
+/// Throws esm::ConfigError with the offending token on any violation,
+/// including spec validation (unit count, depth range, unknown kernel).
+ArchConfig parse_arch_request(const SupernetSpec& spec,
+                              const std::string& text);
+
+/// Splits a predict_batch payload on ';' and parses every element; throws
+/// esm::ConfigError naming the failing element, on an empty batch, or when
+/// the batch exceeds `max_archs`.
+std::vector<ArchConfig> parse_arch_batch(const SupernetSpec& spec,
+                                         const std::string& payload,
+                                         std::size_t max_archs);
+
+/// Blocking line-oriented transport the server core runs on. Implementations
+/// must be safe for one reader and one writer thread plus concurrent
+/// close().
+class Stream {
+ public:
+  virtual ~Stream() = default;
+
+  /// Blocks for the next line (without its '\n'); false on end-of-stream.
+  /// Lines queued before close() are still delivered.
+  virtual bool read_line(std::string& line) = 0;
+
+  /// Writes one line (appends '\n'). Returns false when the line can no
+  /// longer reach the peer.
+  virtual bool write_line(const std::string& line) = 0;
+
+  /// Ends the stream: blocked and future read_line calls return false once
+  /// already-queued lines are drained. Idempotent.
+  virtual void close() = 0;
+};
+
+/// The two ends of an in-process bidirectional stream: what one end writes
+/// the other reads, in order. close() on either end closes both directions
+/// after queued lines drain — this is the transport tests and benches use
+/// to drive the full protocol deterministically without sockets.
+struct StreamPair {
+  std::shared_ptr<Stream> client;
+  std::shared_ptr<Stream> server;
+};
+
+StreamPair make_stream_pair();
+
+/// Minimal typed client over any Stream. Not thread-safe; one client per
+/// thread.
+class ServeClient {
+ public:
+  explicit ServeClient(std::shared_ptr<Stream> stream);
+
+  /// Sends one raw request line and blocks for its response. Throws
+  /// esm::ConfigError if the stream ends or the response is unparseable.
+  ParsedResponse call(const std::string& request_line);
+
+  /// predict; throws esm::ConfigError carrying code + detail on err replies.
+  double predict(const std::string& arch_spec);
+
+  /// predict_batch over pre-rendered arch specs.
+  std::vector<double> predict_batch(const std::vector<std::string>& specs);
+
+  std::map<std::string, std::string> info();
+  std::map<std::string, std::string> stats();
+  void reload(const std::string& artifact_path);
+  void shutdown();
+
+  Stream& stream() { return *stream_; }
+
+ private:
+  ParsedResponse expect_ok(const std::string& request_line);
+
+  std::shared_ptr<Stream> stream_;
+};
+
+}  // namespace esm::serve

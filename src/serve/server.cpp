@@ -1,0 +1,414 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/checksum.hpp"
+#include "common/error.hpp"
+#include "surrogate/registry.hpp"
+
+namespace esm::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_us(Clock::time_point since) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+PredictionServer::PredictionServer(ServeConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cache_capacity, config_.cache_shards) {
+  // Throws before any thread starts when the artifact is unreadable, so a
+  // failed construction needs no teardown.
+  install_artifact(config_.artifact_path);
+  batcher_thread_ = std::thread([this] { batcher_loop(); });
+  if (config_.summary_period_s > 0.0) {
+    summary_thread_ = std::thread([this] { summary_loop(); });
+  }
+}
+
+PredictionServer::~PredictionServer() {
+  request_stop();
+  wait();
+}
+
+void PredictionServer::install_artifact(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ESM_REQUIRE(in.good(), "cannot open artifact: " << path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+  // One read serves both integrity identity and parsing: the CRC32 below is
+  // the artifact's identity in info/stats, and load_surrogate parses the
+  // same buffer instead of re-reading the file.
+  std::shared_ptr<const TrainableSurrogate> model =
+      load_surrogate(path, bytes);
+  const std::string kind = model->kind();
+  const std::string encoder = model->encoder_key();
+  const std::string space = model->spec().name;
+  {
+    std::lock_guard<std::mutex> lock(model_mutex_);
+    model_ = std::move(model);
+    ++model_generation_;
+  }
+  // Clearing after the swap: entries written for a superseded generation
+  // are unreachable anyway (keys carry the generation), this just frees
+  // them eagerly.
+  cache_.clear();
+  metrics_.set_artifact(path, crc32_hex(crc32(bytes)), kind, encoder, space);
+}
+
+PredictionServer::ModelRef PredictionServer::current_model() const {
+  std::lock_guard<std::mutex> lock(model_mutex_);
+  return ModelRef{model_, model_generation_};
+}
+
+std::shared_ptr<const TrainableSurrogate> PredictionServer::model() const {
+  return current_model().model;
+}
+
+void PredictionServer::serve(std::shared_ptr<Stream> stream) {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  if (stopping()) {
+    stream->close();
+    return;
+  }
+  session_streams_.push_back(stream);
+  session_threads_.emplace_back(
+      [this, stream = std::move(stream)] { session_loop(stream); });
+}
+
+void PredictionServer::session_loop(std::shared_ptr<Stream> stream) {
+  std::string line;
+  while (stream->read_line(line)) {
+    const Clock::time_point start = Clock::now();
+    bool shutdown_requested = false;
+    std::string response;
+    try {
+      response = handle_line(line, shutdown_requested);
+    } catch (const std::exception& e) {
+      // Backstop: no request, however malformed, may crash a session.
+      response = format_error(kErrServerError, e.what());
+    }
+    stream->write_line(response);
+    metrics_.record_latency_us(elapsed_us(start));
+    if (shutdown_requested) {
+      request_stop();
+      break;
+    }
+  }
+  stream->close();
+}
+
+std::string PredictionServer::handle_line(const std::string& line,
+                                          bool& shutdown_requested) {
+  const ParsedRequest request = split_request(line);
+  const bool is_predict =
+      request.verb == "predict" || request.verb == "predict_batch";
+
+  if (line.size() > config_.max_line_bytes) {
+    is_predict ? metrics_.count_predict_error()
+               : metrics_.count_control_line(true);
+    return format_error(kErrOversized,
+                        "request of " + std::to_string(line.size()) +
+                            " bytes exceeds the " +
+                            std::to_string(config_.max_line_bytes) +
+                            "-byte limit");
+  }
+
+  if (request.verb == "predict") {
+    if (request.payload.empty()) {
+      metrics_.count_predict_error();
+      return format_error(kErrBadRequest, "predict needs an architecture");
+    }
+    return handle_predict(request.payload);
+  }
+  if (request.verb == "predict_batch") {
+    if (request.payload.empty()) {
+      metrics_.count_predict_error();
+      return format_error(kErrBadRequest,
+                          "predict_batch needs ';'-separated architectures");
+    }
+    return handle_predict_batch(request.payload);
+  }
+  if (request.verb == "info" || request.verb == "stats" ||
+      request.verb == "shutdown") {
+    if (!request.payload.empty()) {
+      metrics_.count_control_line(true);
+      return format_error(kErrBadRequest,
+                          request.verb + " takes no payload");
+    }
+    metrics_.count_control_line(false);
+    if (request.verb == "info") return handle_info();
+    if (request.verb == "stats") return handle_stats();
+    shutdown_requested = true;
+    return format_ok("shutdown", "draining");
+  }
+  if (request.verb == "reload") {
+    if (request.payload.empty()) {
+      metrics_.count_control_line(true);
+      return format_error(kErrBadRequest, "reload needs an artifact path");
+    }
+    return handle_reload(request.payload);
+  }
+  metrics_.count_control_line(true);
+  if (request.verb.empty()) {
+    return format_error(kErrBadRequest, "empty request line");
+  }
+  return format_error(kErrUnknownVerb,
+                      "unknown verb '" + request.verb +
+                          "' (predict, predict_batch, info, stats, reload, "
+                          "shutdown)");
+}
+
+std::string PredictionServer::handle_predict(const std::string& payload) {
+  const ModelRef ref = current_model();
+  ArchConfig arch;
+  try {
+    arch = parse_arch_request(ref.model->spec(), payload);
+  } catch (const ConfigError& e) {
+    metrics_.count_predict_error();
+    return format_error(kErrBadArch, e.what());
+  }
+  const std::string key =
+      std::to_string(ref.generation) + '|' + arch.to_string();
+  if (const std::optional<double> hit = cache_.get(key)) {
+    metrics_.count_archs(1, 0);
+    metrics_.count_predict_line(true);
+    return format_ok("predict", format_latency(*hit));
+  }
+  std::future<double> pending = enqueue(std::move(arch));
+  metrics_.count_archs(0, 1);
+  try {
+    const double value = pending.get();
+    cache_.put(key, value);
+    metrics_.count_predict_line(false);
+    return format_ok("predict", format_latency(value));
+  } catch (const ConfigError& e) {
+    metrics_.count_predict_error();
+    return format_error(kErrBadArch, e.what());
+  } catch (const std::exception& e) {
+    metrics_.count_predict_error();
+    return format_error(kErrServerError, e.what());
+  }
+}
+
+std::string PredictionServer::handle_predict_batch(
+    const std::string& payload) {
+  const ModelRef ref = current_model();
+  std::vector<ArchConfig> archs;
+  try {
+    archs = parse_arch_batch(ref.model->spec(), payload,
+                             config_.max_batch_archs);
+  } catch (const ConfigError& e) {
+    metrics_.count_predict_error();
+    return format_error(kErrBadArch, e.what());
+  }
+
+  struct Miss {
+    std::size_t index;
+    std::string key;
+    std::future<double> value;
+  };
+  std::vector<double> values(archs.size(), 0.0);
+  std::vector<Miss> misses;
+  std::uint64_t hit_count = 0;
+  for (std::size_t i = 0; i < archs.size(); ++i) {
+    std::string key =
+        std::to_string(ref.generation) + '|' + archs[i].to_string();
+    if (const std::optional<double> hit = cache_.get(key)) {
+      values[i] = *hit;
+      ++hit_count;
+    } else {
+      misses.push_back(Miss{i, std::move(key), enqueue(archs[i])});
+    }
+  }
+  metrics_.count_archs(hit_count, misses.size());
+  try {
+    for (Miss& miss : misses) {
+      values[miss.index] = miss.value.get();
+      cache_.put(miss.key, values[miss.index]);
+    }
+  } catch (const ConfigError& e) {
+    metrics_.count_predict_error();
+    return format_error(kErrBadArch, e.what());
+  } catch (const std::exception& e) {
+    metrics_.count_predict_error();
+    return format_error(kErrServerError, e.what());
+  }
+  metrics_.count_predict_line(misses.empty());
+
+  std::ostringstream os;
+  os << values.size();
+  for (double v : values) os << ' ' << format_latency(v);
+  return format_ok("predict_batch", os.str());
+}
+
+std::string PredictionServer::handle_info() {
+  const ModelRef ref = current_model();
+  const MetricsSnapshot snap = metrics_.snapshot();
+  std::ostringstream os;
+  os << "proto=1 kind=" << ref.model->kind()
+     << " encoder=" << ref.model->encoder_key()
+     << " space=" << ref.model->spec().name
+     << " generation=" << ref.generation << " reloads=" << snap.reloads
+     << " cache_capacity=" << cache_.capacity()
+     << " artifact_crc32=" << snap.artifact_crc32
+     << " artifact=" << snap.artifact;
+  return format_ok("info", os.str());
+}
+
+std::string PredictionServer::handle_stats() {
+  std::string payload = ServerMetrics::stats_payload(metrics_.snapshot());
+  payload += " cache_size=" + std::to_string(cache_.size()) +
+             " cache_capacity=" + std::to_string(cache_.capacity());
+  return format_ok("stats", payload);
+}
+
+std::string PredictionServer::handle_reload(const std::string& path) {
+  try {
+    install_artifact(path);
+  } catch (const std::exception& e) {
+    // The old model keeps serving; install_artifact swaps only on success.
+    metrics_.count_control_line(true);
+    return format_error(kErrReloadFailed, e.what());
+  }
+  metrics_.count_control_line(false);
+  metrics_.count_reload();
+  const ModelRef ref = current_model();
+  return format_ok("reload", "kind=" + ref.model->kind() +
+                                 " generation=" +
+                                 std::to_string(ref.generation) +
+                                 " artifact=" + path);
+}
+
+std::future<double> PredictionServer::enqueue(ArchConfig arch) {
+  Pending pending;
+  pending.arch = std::move(arch);
+  std::future<double> result = pending.result.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.push_back(std::move(pending));
+  }
+  queue_cv_.notify_one();
+  return result;
+}
+
+void PredictionServer::batcher_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return !queue_.empty() || batcher_stop_; });
+      if (queue_.empty()) return;  // stop requested and queue drained
+      // Everything that accumulated while the previous batch was in
+      // flight coalesces into this dispatch (bounded by max_batch).
+      const std::size_t n = std::min(queue_.size(), config_.max_batch);
+      batch.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    // Snapshot per dispatch: a concurrent reload swaps the pointer for the
+    // NEXT batch; requests already dispatched finish on this model.
+    const ModelRef ref = current_model();
+    std::vector<ArchConfig> archs;
+    archs.reserve(batch.size());
+    for (const Pending& p : batch) archs.push_back(p.arch);
+    metrics_.count_batch(batch.size());
+    try {
+      const std::vector<double> values = ref.model->predict_all(archs);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        batch[i].result.set_value(values[i]);
+      }
+    } catch (...) {
+      // Per-arch fallback: one failing architecture (e.g. a layer a
+      // device-less LUT never profiled) must not poison the coalesced
+      // requests of other clients.
+      for (Pending& p : batch) {
+        try {
+          p.result.set_value(ref.model->predict_ms(p.arch));
+        } catch (...) {
+          p.result.set_exception(std::current_exception());
+        }
+      }
+    }
+  }
+}
+
+void PredictionServer::summary_loop() {
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  const auto period = std::chrono::duration<double>(config_.summary_period_s);
+  while (!stop_requested_) {
+    stop_cv_.wait_for(lock, period, [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    lock.unlock();
+    std::fprintf(stderr, "%s\n",
+                 ServerMetrics::summary_line(metrics_.snapshot()).c_str());
+    lock.lock();
+  }
+}
+
+bool PredictionServer::stopping() const {
+  std::lock_guard<std::mutex> lock(stop_mutex_);
+  return stop_requested_;
+}
+
+void PredictionServer::request_stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    if (stop_requested_) return;
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  // Closing unblocks session readers; lines already queued are still
+  // delivered and answered before the sessions exit (drain semantics).
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  for (const std::shared_ptr<Stream>& stream : session_streams_) {
+    stream->close();
+  }
+}
+
+void PredictionServer::wait() {
+  {
+    std::unique_lock<std::mutex> lock(stop_mutex_);
+    stop_cv_.wait(lock, [this] { return stop_requested_; });
+    if (joined_) return;
+    if (joining_) {
+      stop_cv_.wait(lock, [this] { return joined_; });
+      return;
+    }
+    joining_ = true;
+  }
+  // Sessions first: they may still be waiting on the batcher for queued
+  // predictions, so the batcher must outlive them.
+  std::vector<std::thread> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions.swap(session_threads_);
+  }
+  for (std::thread& t : sessions) t.join();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    batcher_stop_ = true;
+  }
+  queue_cv_.notify_all();
+  if (batcher_thread_.joinable()) batcher_thread_.join();
+  if (summary_thread_.joinable()) summary_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    joined_ = true;
+  }
+  stop_cv_.notify_all();
+}
+
+}  // namespace esm::serve

@@ -1,0 +1,152 @@
+// Long-running prediction server: loads any `.esm` artifact through the
+// surrogate registry, admits concurrent client sessions over any Stream
+// transport, coalesces pending single predictions into batches dispatched
+// through predict_all (and so the shared thread pool), answers repeats from
+// a sharded LRU cache, hot-swaps artifacts on `reload` between batches, and
+// drains in-flight requests before stopping.
+//
+// Threading model:
+//   - serve(stream) spawns one session thread per client; it reads request
+//     lines, resolves cache hits inline, and parks misses on the shared
+//     pending queue behind a per-request promise.
+//   - one batcher thread drains the pending queue: whatever accumulated
+//     while the previous batch was in flight becomes the next predict_all
+//     dispatch (capped at ServeConfig::max_batch), so concurrent singles
+//     from different clients coalesce automatically with no timer.
+//   - `reload` swaps the model shared_ptr under a mutex and clears the
+//     cache; the batcher snapshots the pointer per dispatch, so requests
+//     already dispatched finish on the old model. Cache keys carry the
+//     model generation, so entries written by a superseded generation are
+//     never served to requests issued after the swap.
+//   - request_stop()/wait() drain: session streams are closed, sessions
+//     answer every request already on the wire, the batcher finishes the
+//     queue, then every thread is joined. No request that was read is
+//     dropped.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/cache.hpp"
+#include "serve/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "surrogate/trainable.hpp"
+
+namespace esm::serve {
+
+struct ServeConfig {
+  std::string artifact_path;            ///< loaded at construction
+  std::size_t cache_capacity = 4096;    ///< 0 disables the cache
+  std::size_t cache_shards = 8;
+  std::size_t max_line_bytes = 64 * 1024;  ///< longer request lines error
+  std::size_t max_batch = 64;           ///< archs per predict_all dispatch
+  std::size_t max_batch_archs = 1024;   ///< archs per predict_batch request
+  double summary_period_s = 0.0;        ///< >0: periodic stderr summary
+};
+
+class PredictionServer {
+ public:
+  /// Loads the artifact (single read: identity CRC32 + parse share the
+  /// buffer) and starts the batcher. Throws esm::ConfigError when the
+  /// artifact cannot be loaded.
+  explicit PredictionServer(ServeConfig config);
+
+  /// Stops and joins everything (equivalent to request_stop() + wait()).
+  ~PredictionServer();
+
+  PredictionServer(const PredictionServer&) = delete;
+  PredictionServer& operator=(const PredictionServer&) = delete;
+
+  /// Admits one client: spawns a session thread that serves `stream` until
+  /// the stream ends or the server drains.
+  void serve(std::shared_ptr<Stream> stream);
+
+  /// Begins the drain: no new sessions are admitted, session streams are
+  /// closed (requests already on the wire still get answers), and wait()
+  /// unblocks once everything finished. Idempotent, callable from any
+  /// thread including a session thread (the `shutdown` verb routes here).
+  void request_stop();
+
+  /// Blocks until a stop was requested and every session, the batcher, and
+  /// the summary thread have been joined.
+  void wait();
+
+  /// True once a stop was requested (drain begun).
+  bool stopping() const;
+
+  MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+
+  /// The currently served model (snapshot; reload may swap it right after).
+  std::shared_ptr<const TrainableSurrogate> model() const;
+
+ private:
+  struct Pending {
+    ArchConfig arch;
+    std::promise<double> result;
+  };
+
+  /// Model pointer plus its reload generation, snapshotted together.
+  struct ModelRef {
+    std::shared_ptr<const TrainableSurrogate> model;
+    std::uint64_t generation = 0;
+  };
+
+  ModelRef current_model() const;
+
+  /// Handles one request line; returns the response line and sets
+  /// `shutdown_requested` for the `shutdown` verb.
+  std::string handle_line(const std::string& line, bool& shutdown_requested);
+
+  std::string handle_predict(const std::string& payload);
+  std::string handle_predict_batch(const std::string& payload);
+  std::string handle_info();
+  std::string handle_stats();
+  std::string handle_reload(const std::string& path);
+
+  /// Queues one architecture for the batcher; the future resolves with the
+  /// prediction (or rethrows the per-arch failure).
+  std::future<double> enqueue(ArchConfig arch);
+
+  void session_loop(std::shared_ptr<Stream> stream);
+  void batcher_loop();
+  void summary_loop();
+
+  /// Loads `path` once from disk and installs it as the served model
+  /// (construction and reload share this).
+  void install_artifact(const std::string& path);
+
+  ServeConfig config_;
+  ServerMetrics metrics_;
+  PredictionCache cache_;
+
+  mutable std::mutex model_mutex_;
+  std::shared_ptr<const TrainableSurrogate> model_;
+  std::uint64_t model_generation_ = 0;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool batcher_stop_ = false;
+
+  std::mutex sessions_mutex_;
+  std::vector<std::thread> session_threads_;
+  std::vector<std::shared_ptr<Stream>> session_streams_;
+
+  mutable std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  bool joining_ = false;
+  bool joined_ = false;
+
+  std::thread batcher_thread_;
+  std::thread summary_thread_;
+};
+
+}  // namespace esm::serve

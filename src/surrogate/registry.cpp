@@ -1,6 +1,8 @@
 #include "surrogate/registry.hpp"
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <utility>
 
 #include "common/error.hpp"
@@ -145,7 +147,16 @@ void save_surrogate(const TrainableSurrogate& surrogate,
 }
 
 std::unique_ptr<TrainableSurrogate> load_surrogate(const std::string& path) {
-  const ArchiveReader archive = ArchiveReader::from_file(path);
+  std::ifstream in(path);
+  ESM_REQUIRE(in.good(), "cannot open archive: " << path);
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return load_surrogate(path, contents.str());
+}
+
+std::unique_ptr<TrainableSurrogate> load_surrogate(
+    const std::string& path, const std::string& contents) {
+  const ArchiveReader archive = ArchiveReader::from_string(contents);
   if (!archive.checksummed()) {
     // Pre-v2 artifact: readable, but carries no CRC32 footer, so silent
     // corruption cannot be detected. Note it rather than failing.

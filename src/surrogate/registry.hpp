@@ -90,4 +90,11 @@ void save_surrogate(const TrainableSurrogate& surrogate,
 /// requires family-specific context (device, encoder) and is not restored.
 std::unique_ptr<TrainableSurrogate> load_surrogate(const std::string& path);
 
+/// Same, from an already-read buffer holding the full artifact file.
+/// `path` only names the artifact in error messages. Callers that already
+/// hold the bytes — the serve layer reads them once for both the identity
+/// CRC32 and the parse — avoid a second read of the file.
+std::unique_ptr<TrainableSurrogate> load_surrogate(const std::string& path,
+                                                   const std::string& contents);
+
 }  // namespace esm

@@ -1,0 +1,565 @@
+// Tests for the online prediction server (src/serve/): protocol round trip
+// for every verb, a malformed/oversized request matrix that must yield
+// structured errors (never a crash), the headline concurrency pin — 10k
+// requests from 8 in-process clients, zero drops, every response
+// bit-identical to offline predict_all, stats counters reconciling exactly —
+// cache hit/miss bit-identity, hot reload without dropping in-flight
+// requests, drain-on-stop, and the cache/metrics building blocks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "encoding/registry.hpp"
+#include "hwsim/device.hpp"
+#include "hwsim/measurement.hpp"
+#include "ml/gbdt.hpp"
+#include "nets/builder.hpp"
+#include "nets/sampler.hpp"
+#include "nets/supernet.hpp"
+#include "serve/cache.hpp"
+#include "serve/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "surrogate/gbdt_surrogate.hpp"
+#include "surrogate/registry.hpp"
+
+namespace esm {
+namespace {
+
+using serve::ParsedResponse;
+using serve::PredictionServer;
+using serve::ServeClient;
+using serve::ServeConfig;
+using serve::StreamPair;
+
+/// Trains a small GBDT on 64 ResNet archs and saves it under TempDir.
+/// `label_scale`/`label_shift` perturb the labels so different variants
+/// yield different predictions (the reload tests need two models that
+/// genuinely disagree).
+std::string build_artifact(const std::string& name, double label_scale,
+                           double label_shift) {
+  const SupernetSpec spec = resnet_spec();
+  SimulatedDevice device(rtx4090_spec(), 7);
+  Rng rng(0x5eed);
+  BalancedSampler sampler(spec, 4);
+  const std::vector<ArchConfig> archs = sampler.sample_n(64, rng);
+  std::vector<double> labels;
+  labels.reserve(archs.size());
+  for (const ArchConfig& arch : archs) {
+    labels.push_back(label_scale *
+                         device.true_latency_ms(build_graph(spec, arch)) +
+                     label_shift);
+  }
+  GbdtConfig gbdt;
+  gbdt.n_estimators = 30;
+  GbdtSurrogate surrogate(make_encoder("fcc", spec), gbdt);
+  surrogate.fit(SurrogateDataset{archs, labels});
+  const std::string path = testing::TempDir() + "/" + name;
+  save_surrogate(surrogate, path);
+  return path;
+}
+
+/// Artifact A (labels = true latency) and B (scaled labels), built once.
+const std::string& artifact_a() {
+  static const std::string path = build_artifact("serve_a.esm", 1.0, 0.0);
+  return path;
+}
+const std::string& artifact_b() {
+  static const std::string path = build_artifact("serve_b.esm", 1.37, 0.5);
+  return path;
+}
+
+/// The first `limit` ResNet depth combinations as request strings, each
+/// unit annotated with a rotating kernel/expansion feature so distinct
+/// requests map to distinct predictions (depth-only archs share too many
+/// tree leaves to tell a misrouted response apart).
+std::vector<std::string> arch_pool(std::size_t limit) {
+  static const char* kFeatures[] = {"",        ":k5",       ":k7",
+                                    ":k3e1",   ":k5e0.667", ":k7e1",
+                                    ":k3e0.5", ":k5e1",     ":k7e0.667"};
+  std::vector<std::string> pool;
+  std::size_t n = 0;
+  for (int a = 1; a <= 7 && pool.size() < limit; ++a)
+    for (int b = 1; b <= 7 && pool.size() < limit; ++b)
+      for (int c = 1; c <= 7 && pool.size() < limit; ++c)
+        for (int d = 1; d <= 7 && pool.size() < limit; ++d) {
+          const int depths[4] = {a, b, c, d};
+          std::string request;
+          for (std::size_t u = 0; u < 4; ++u) {
+            if (u > 0) request += ',';
+            request += std::to_string(depths[u]);
+            request += kFeatures[(n + u * 3) % 9];
+          }
+          ++n;
+          pool.push_back(std::move(request));
+        }
+  return pool;
+}
+
+/// Offline ground truth: parse each request with the shared parser and
+/// price everything through one predict_all on a separately loaded model.
+std::map<std::string, double> offline_predictions(
+    const std::string& artifact, const std::vector<std::string>& specs) {
+  const std::unique_ptr<TrainableSurrogate> model = load_surrogate(artifact);
+  std::vector<ArchConfig> archs;
+  archs.reserve(specs.size());
+  for (const std::string& s : specs) {
+    archs.push_back(serve::parse_arch_request(model->spec(), s));
+  }
+  const std::vector<double> values = model->predict_all(archs);
+  std::map<std::string, double> expected;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    expected[specs[i]] = values[i];
+  }
+  return expected;
+}
+
+ServeClient connect(PredictionServer& server) {
+  StreamPair pair = serve::make_stream_pair();
+  server.serve(pair.server);
+  return ServeClient(pair.client);
+}
+
+std::uint64_t stat(const std::map<std::string, std::string>& kv,
+                   const std::string& key) {
+  const auto it = kv.find(key);
+  EXPECT_NE(it, kv.end()) << "stats payload lacks " << key;
+  return it == kv.end() ? 0 : std::stoull(it->second);
+}
+
+ServeConfig test_config(const std::string& artifact) {
+  ServeConfig config;
+  config.artifact_path = artifact;
+  return config;
+}
+
+// ---------------------------------------------------- parse_arch_request
+
+TEST(ParseArchRequestTest, ParsesDepthListWithDefaults) {
+  const SupernetSpec spec = resnet_spec();
+  const ArchConfig arch = serve::parse_arch_request(spec, "3,5,2,7");
+  EXPECT_EQ(arch.depths(), (std::vector<int>{3, 5, 2, 7}));
+  EXPECT_EQ(arch.units[0].blocks[0].kernel, spec.kernel_options.front());
+  EXPECT_EQ(arch.units[0].blocks[0].expansion, spec.expansion_options.front());
+  spec.validate(arch);
+}
+
+TEST(ParseArchRequestTest, ToleratesSpacesBetweenUnits) {
+  const SupernetSpec spec = resnet_spec();
+  EXPECT_EQ(serve::parse_arch_request(spec, " 3, 5, 2, 7 ").depths(),
+            (std::vector<int>{3, 5, 2, 7}));
+}
+
+TEST(ParseArchRequestTest, ParsesPerUnitKernelAndExpansion) {
+  const SupernetSpec spec = resnet_spec();
+  const ArchConfig arch =
+      serve::parse_arch_request(spec, "3:k5,5:k7e0.667,2,7:k3e1");
+  EXPECT_EQ(arch.units[0].blocks[0].kernel, 5);
+  EXPECT_EQ(arch.units[1].blocks[0].kernel, 7);
+  // "0.667" snaps to the exact 2/3 option, so validate()'s 1e-9 comparison
+  // passes and the config bit-matches one built from the real option.
+  EXPECT_EQ(arch.units[1].blocks[0].expansion, 2.0 / 3.0);
+  EXPECT_EQ(arch.units[3].blocks[0].expansion, 1.0);
+  spec.validate(arch);
+}
+
+TEST(ParseArchRequestTest, RejectsMalformedRequests) {
+  const SupernetSpec spec = resnet_spec();
+  EXPECT_THROW(serve::parse_arch_request(spec, ""), ConfigError);
+  EXPECT_THROW(serve::parse_arch_request(spec, "banana"), ConfigError);
+  EXPECT_THROW(serve::parse_arch_request(spec, "3,5"), ConfigError);
+  EXPECT_THROW(serve::parse_arch_request(spec, "3,5,2,7,1"), ConfigError);
+  EXPECT_THROW(serve::parse_arch_request(spec, "9,5,2,7"), ConfigError);
+  EXPECT_THROW(serve::parse_arch_request(spec, "0,5,2,7"), ConfigError);
+  EXPECT_THROW(serve::parse_arch_request(spec, "-3,5,2,7"), ConfigError);
+  EXPECT_THROW(serve::parse_arch_request(spec, "3,,2,7"), ConfigError);
+  EXPECT_THROW(serve::parse_arch_request(spec, "3:k4,5,2,7"), ConfigError);
+  EXPECT_THROW(serve::parse_arch_request(spec, "3:e1,5,2,7"), ConfigError);
+  EXPECT_THROW(serve::parse_arch_request(spec, "3:k5e0.9,5,2,7"), ConfigError);
+}
+
+// ------------------------------------------------------ protocol framing
+
+TEST(ProtocolTest, ResponseFormatRoundTrips) {
+  ParsedResponse parsed;
+  ASSERT_TRUE(serve::parse_response(serve::format_ok("predict", "1.5"),
+                                    parsed));
+  EXPECT_TRUE(parsed.ok);
+  EXPECT_EQ(parsed.verb_or_code, "predict");
+  EXPECT_EQ(parsed.payload, "1.5");
+
+  ASSERT_TRUE(serve::parse_response(
+      serve::format_error(serve::kErrBadArch, "unit 0\nbad"), parsed));
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_EQ(parsed.verb_or_code, serve::kErrBadArch);
+  EXPECT_EQ(parsed.payload, "unit 0 bad");  // newline sanitized to a space
+
+  EXPECT_FALSE(serve::parse_response("hello world", parsed));
+  EXPECT_FALSE(serve::parse_response("esm2 ok predict 1", parsed));
+}
+
+TEST(ProtocolTest, SplitRequestSeparatesVerbAndPayload) {
+  EXPECT_EQ(serve::split_request("predict 3,5,2,7").verb, "predict");
+  EXPECT_EQ(serve::split_request("predict 3,5,2,7").payload, "3,5,2,7");
+  EXPECT_EQ(serve::split_request("stats").verb, "stats");
+  EXPECT_EQ(serve::split_request("stats").payload, "");
+  EXPECT_EQ(serve::split_request("stats\r").verb, "stats");
+  EXPECT_EQ(serve::split_request("").verb, "");
+}
+
+TEST(ProtocolTest, FormatLatencyRoundTripsDoublesExactly) {
+  const double value = 1.23456789012345678e-3;
+  EXPECT_EQ(std::strtod(serve::format_latency(value).c_str(), nullptr), value);
+}
+
+// ------------------------------------------------------- cache + metrics
+
+TEST(PredictionCacheTest, EvictsLeastRecentlyUsedPerShard) {
+  serve::PredictionCache cache(2, 1);
+  cache.put("a", 1.0);
+  cache.put("b", 2.0);
+  EXPECT_EQ(cache.get("a"), 1.0);  // refreshes a
+  cache.put("c", 3.0);             // evicts b
+  EXPECT_EQ(cache.get("a"), 1.0);
+  EXPECT_EQ(cache.get("c"), 3.0);
+  EXPECT_FALSE(cache.get("b").has_value());
+  EXPECT_EQ(cache.size(), 2u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get("a").has_value());
+}
+
+TEST(PredictionCacheTest, ZeroCapacityDisablesCaching) {
+  serve::PredictionCache cache(0);
+  cache.put("a", 1.0);
+  EXPECT_FALSE(cache.get("a").has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LatencyHistogramTest, PercentilesAreOrderedAndCounted) {
+  serve::LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.record_us(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 1000u);
+  const double p50 = h.percentile_us(50);
+  const double p95 = h.percentile_us(95);
+  const double p99 = h.percentile_us(99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+}
+
+// ------------------------------------------------------------ the server
+
+TEST(ServeTest, RoundTripForEveryVerb) {
+  PredictionServer server(test_config(artifact_a()));
+  ServeClient client = connect(server);
+
+  const std::vector<std::string> specs = {"3,5,2,7", "1,1,1,1",
+                                          "7:k7e1,7:k5,7,7"};
+  const std::map<std::string, double> expected =
+      offline_predictions(artifact_a(), specs);
+
+  EXPECT_EQ(client.predict(specs[0]), expected.at(specs[0]));
+
+  const std::vector<double> batch = client.predict_batch({specs[1], specs[2]});
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0], expected.at(specs[1]));
+  EXPECT_EQ(batch[1], expected.at(specs[2]));
+
+  const std::map<std::string, std::string> info = client.info();
+  EXPECT_EQ(info.at("proto"), "1");
+  EXPECT_EQ(info.at("kind"), "gbdt");
+  EXPECT_EQ(info.at("encoder"), "fcc");
+  EXPECT_EQ(info.at("space"), "ResNet");
+  EXPECT_EQ(info.at("generation"), "1");
+  EXPECT_EQ(info.at("artifact"), artifact_a());
+  EXPECT_EQ(info.at("artifact_crc32").size(), 8u);
+
+  const std::map<std::string, std::string> stats = client.stats();
+  EXPECT_EQ(stat(stats, "requests"), 2u);
+  EXPECT_EQ(stat(stats, "errors"), 0u);
+  EXPECT_EQ(stat(stats, "archs"), 3u);
+
+  client.reload(artifact_a());
+  EXPECT_EQ(client.info().at("generation"), "2");
+  EXPECT_TRUE(std::isfinite(client.predict("3,5,2,7")));
+
+  client.shutdown();
+  server.wait();
+  EXPECT_TRUE(server.stopping());
+}
+
+TEST(ServeTest, MalformedRequestsYieldStructuredErrorsNeverACrash) {
+  PredictionServer server(test_config(artifact_a()));
+  ServeClient client = connect(server);
+
+  const std::vector<std::pair<std::string, std::string>> matrix = {
+      {"", serve::kErrBadRequest},
+      {"predict", serve::kErrBadRequest},
+      {"predict banana", serve::kErrBadArch},
+      {"predict 3,5", serve::kErrBadArch},
+      {"predict 9,9,9,9", serve::kErrBadArch},
+      {"predict 0,5,2,7", serve::kErrBadArch},
+      {"predict 3,,2,7", serve::kErrBadArch},
+      {"predict 3:k4,5,2,7", serve::kErrBadArch},
+      {"predict_batch", serve::kErrBadRequest},
+      {"predict_batch ;", serve::kErrBadArch},
+      {"predict_batch 3,5,2,7;banana", serve::kErrBadArch},
+      {"flarp 1", serve::kErrUnknownVerb},
+      {"\x01\x02garbage", serve::kErrUnknownVerb},
+      {"info extra", serve::kErrBadRequest},
+      {"stats now", serve::kErrBadRequest},
+      {"shutdown now", serve::kErrBadRequest},
+      {"reload", serve::kErrBadRequest},
+      {"reload /nonexistent/model.esm", serve::kErrReloadFailed},
+      {"predict " + std::string(70 * 1024, '1'), serve::kErrOversized},
+      {"predict_batch " + std::string(70 * 1024, '1'), serve::kErrOversized},
+  };
+  for (const auto& [request, expected_code] : matrix) {
+    const ParsedResponse response = client.call(request);
+    EXPECT_FALSE(response.ok) << "request '" << request.substr(0, 40) << "'";
+    EXPECT_EQ(response.verb_or_code, expected_code)
+        << "request '" << request.substr(0, 40) << "': " << response.payload;
+  }
+
+  // The connection survives the whole matrix: a good request still works
+  // (and "shutdown now" must not have begun a drain).
+  EXPECT_FALSE(server.stopping());
+  EXPECT_TRUE(std::isfinite(client.predict("3,5,2,7")));
+
+  // Counters reconcile: every prediction line is exactly one of
+  // hit/miss/error; control-verb errors are tracked separately.
+  const std::map<std::string, std::string> stats = client.stats();
+  EXPECT_EQ(stat(stats, "requests"),
+            stat(stats, "hits") + stat(stats, "misses") +
+                stat(stats, "errors"));
+  EXPECT_EQ(stat(stats, "requests"), 13u);  // 12 bad + 1 good predict lines
+  EXPECT_EQ(stat(stats, "errors"), 12u);
+  EXPECT_EQ(stat(stats, "hits"), 0u);
+  EXPECT_EQ(stat(stats, "misses"), 1u);
+  EXPECT_EQ(stat(stats, "control_errors"), 8u);
+}
+
+// Headline pin (acceptance criterion): 10k requests from 8 concurrent
+// in-process clients complete with zero drops, every response bit-identical
+// to offline predict_all on the same artifact, and the stats counters
+// reconcile exactly.
+TEST(ServeTest, TenThousandRequestsFromEightClientsBitIdenticalToOffline) {
+  const std::vector<std::string> pool = arch_pool(311);
+  const std::map<std::string, double> expected =
+      offline_predictions(artifact_a(), pool);
+
+  PredictionServer server(test_config(artifact_a()));
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 1250;
+
+  std::vector<ServeClient> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) clients.push_back(connect(server));
+
+  std::atomic<int> answered{0};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      // Deterministic per-client walk over the shared pool: plenty of
+      // cross-client repetition, so the cache and the coalescer both see
+      // real traffic.
+      for (int i = 0; i < kPerClient; ++i) {
+        const std::string& arch =
+            pool[(static_cast<std::size_t>(c) * 7919 +
+                  static_cast<std::size_t>(i) * 13) %
+                 pool.size()];
+        const double value = clients[static_cast<std::size_t>(c)].predict(arch);
+        answered.fetch_add(1, std::memory_order_relaxed);
+        if (value != expected.at(arch)) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Zero drops, zero deviations from the offline predictions.
+  EXPECT_EQ(answered.load(), kClients * kPerClient);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const std::map<std::string, std::string> stats = clients[0].stats();
+  EXPECT_EQ(stat(stats, "requests"),
+            static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(stat(stats, "errors"), 0u);
+  // Exact reconciliation, line- and arch-level.
+  EXPECT_EQ(stat(stats, "requests"),
+            stat(stats, "hits") + stat(stats, "misses") +
+                stat(stats, "errors"));
+  EXPECT_EQ(stat(stats, "archs"),
+            stat(stats, "arch_hits") + stat(stats, "arch_misses"));
+  // Every arch miss went through exactly one coalesced dispatch.
+  EXPECT_EQ(stat(stats, "batched_archs"), stat(stats, "arch_misses"));
+  EXPECT_GE(stat(stats, "batches"), 1u);
+  // 311 distinct archs, one generation. Two clients can miss the same arch
+  // concurrently (both check the cache before either's result lands), so
+  // allow a small overage — but never anywhere near one miss per request.
+  EXPECT_GE(stat(stats, "arch_misses"), 311u);
+  EXPECT_LE(stat(stats, "arch_misses"), 311u + kClients * 8u);
+  EXPECT_GE(stat(stats, "arch_hits"),
+            static_cast<std::uint64_t>(kClients * kPerClient) - 311u -
+                kClients * 8u);
+}
+
+TEST(ServeTest, CacheHitReturnsBitIdenticalValueToMissPath) {
+  PredictionServer server(test_config(artifact_a()));
+  ServeClient client = connect(server);
+
+  const ParsedResponse miss = client.call("predict 4,2,6,1");
+  const ParsedResponse hit = client.call("predict 4,2,6,1");
+  ASSERT_TRUE(miss.ok);
+  ASSERT_TRUE(hit.ok);
+  // The full response line is identical, so the doubles are bit-identical.
+  EXPECT_EQ(miss.payload, hit.payload);
+
+  const std::map<std::string, std::string> stats = client.stats();
+  EXPECT_EQ(stat(stats, "hits"), 1u);
+  EXPECT_EQ(stat(stats, "misses"), 1u);
+  EXPECT_EQ(stat(stats, "cache_size"), 1u);
+}
+
+TEST(ServeTest, PredictBatchMatchesOfflinePredictAll) {
+  const std::vector<std::string> specs = {"3,5,2,7", "1,1,1,1", "7,7,7,7",
+                                          "2,4,6,1"};
+  const std::map<std::string, double> expected =
+      offline_predictions(artifact_a(), specs);
+
+  PredictionServer server(test_config(artifact_a()));
+  ServeClient client = connect(server);
+  const std::vector<double> values = client.predict_batch(specs);
+  ASSERT_EQ(values.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(values[i], expected.at(specs[i])) << specs[i];
+  }
+
+  // A second identical batch is answered entirely from cache — same bits.
+  const std::vector<double> again = client.predict_batch(specs);
+  EXPECT_EQ(again, values);
+  const std::map<std::string, std::string> stats = client.stats();
+  EXPECT_EQ(stat(stats, "hits"), 1u);
+  EXPECT_EQ(stat(stats, "misses"), 1u);
+}
+
+TEST(ServeTest, HotReloadSwapsModelsWithoutDroppingInflightRequests) {
+  const std::vector<std::string> pool = arch_pool(97);
+  const std::map<std::string, double> expected_a =
+      offline_predictions(artifact_a(), pool);
+  const std::map<std::string, double> expected_b =
+      offline_predictions(artifact_b(), pool);
+  // The two artifacts genuinely disagree, otherwise this proves nothing.
+  ASSERT_NE(expected_a.at(pool[0]), expected_b.at(pool[0]));
+
+  PredictionServer server(test_config(artifact_a()));
+  ServeClient worker = connect(server);
+  ServeClient admin = connect(server);
+
+  constexpr int kRequests = 400;
+  std::atomic<int> answered{0};
+  std::atomic<int> off_model{0};
+  std::thread traffic([&] {
+    for (int i = 0; i < kRequests; ++i) {
+      const std::string& arch = pool[static_cast<std::size_t>(i) % pool.size()];
+      const double value = worker.predict(arch);
+      answered.fetch_add(1, std::memory_order_relaxed);
+      // Every response comes from the old model or the new one — never a
+      // torn value, never a stale cache entry misattributed to the new
+      // generation.
+      if (value != expected_a.at(arch) && value != expected_b.at(arch)) {
+        off_model.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  admin.reload(artifact_b());
+  traffic.join();
+
+  EXPECT_EQ(answered.load(), kRequests);
+  EXPECT_EQ(off_model.load(), 0);
+
+  // After the swap every fresh request is priced by the new model,
+  // bit-identically to its offline predictions.
+  for (const std::string& arch : {pool[0], pool[50], pool[96]}) {
+    EXPECT_EQ(admin.predict(arch), expected_b.at(arch)) << arch;
+  }
+  const std::map<std::string, std::string> info = admin.info();
+  EXPECT_EQ(info.at("generation"), "2");
+  EXPECT_EQ(info.at("reloads"), "1");
+  EXPECT_EQ(info.at("artifact"), artifact_b());
+}
+
+TEST(ServeTest, FailedReloadKeepsServingTheOldModel) {
+  const std::vector<std::string> specs = {"3,5,2,7"};
+  const std::map<std::string, double> expected =
+      offline_predictions(artifact_a(), specs);
+
+  PredictionServer server(test_config(artifact_a()));
+  ServeClient client = connect(server);
+  EXPECT_EQ(client.predict("3,5,2,7"), expected.at("3,5,2,7"));
+
+  const ParsedResponse bad = client.call("reload /nonexistent/path.esm");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.verb_or_code, serve::kErrReloadFailed);
+
+  EXPECT_EQ(client.predict("3,5,2,7"), expected.at("3,5,2,7"));
+  EXPECT_EQ(client.info().at("generation"), "1");
+}
+
+TEST(ServeTest, DrainAnswersEveryRequestAlreadyOnTheWire) {
+  const std::vector<std::string> pool = arch_pool(50);
+  PredictionServer server(test_config(artifact_a()));
+  StreamPair pair = serve::make_stream_pair();
+  server.serve(pair.server);
+
+  // Fire 50 requests without reading a single response, then stop the
+  // server. Drain semantics: every request that reached the wire is
+  // answered before the threads exit.
+  for (const std::string& arch : pool) {
+    ASSERT_TRUE(pair.client->write_line("predict " + arch));
+  }
+  server.request_stop();
+  server.wait();
+
+  std::size_t responses = 0;
+  std::string line;
+  while (pair.client->read_line(line)) {
+    ParsedResponse parsed;
+    ASSERT_TRUE(serve::parse_response(line, parsed));
+    EXPECT_TRUE(parsed.ok) << line;
+    ++responses;
+  }
+  EXPECT_EQ(responses, pool.size());
+}
+
+TEST(ServeTest, RejectsNewSessionsWhileStopping) {
+  PredictionServer server(test_config(artifact_a()));
+  server.request_stop();
+  StreamPair pair = serve::make_stream_pair();
+  server.serve(pair.server);  // refused: stream closed immediately
+  std::string line;
+  EXPECT_FALSE(pair.client->read_line(line));
+  server.wait();
+}
+
+TEST(ServeTest, ConstructorRejectsMissingArtifact) {
+  EXPECT_THROW(PredictionServer(test_config("/nonexistent/model.esm")),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace esm
