@@ -15,6 +15,7 @@
 
 #include "bench_util.hpp"
 #include "common/parallel.hpp"
+#include "linalg/matrix.hpp"
 #include "nets/builder.hpp"
 
 using namespace esm;
@@ -186,6 +187,81 @@ bench::ParallelBenchRecord bench_gemm(std::size_t n, int threads) {
   set_thread_count(1);
   rec.identical = std::memcmp(serial_out.data(), threaded_out.data(),
                               serial_out.size() * sizeof(double)) == 0;
+  rec.flops = 2.0 * static_cast<double>(n) * n * n;
+  rec.bytes = 3.0 * static_cast<double>(n) * n * sizeof(double);
+  return rec;
+}
+
+// The serving-shape multiply stack: one batch-64 forward through the
+// paper predictor (3 layers, hidden 64) as bare gemm_a_bt calls. Sits
+// below the pool crossover, so the threaded run must match serial time
+// (the PR-1 dispatch lost up to 40% here by fanning out anyway).
+bench::ParallelBenchRecord bench_gemm_mlp_shape(int threads) {
+  constexpr std::size_t kBatch = 64, kIn = 36, kHidden = 64;
+  Rng rng(17);
+  Matrix x(kBatch, kIn), w1(kHidden, kIn), w2(kHidden, kHidden),
+      w3(1, kHidden);
+  for (Matrix* m : {&x, &w1, &w2, &w3}) {
+    for (std::size_t i = 0; i < m->size(); ++i) m->data()[i] = rng.uniform();
+  }
+  Matrix h1, h2, y;
+  auto forward = [&] {
+    gemm_a_bt(x, w1, h1);
+    gemm_a_bt(h1, w2, h2);
+    gemm_a_bt(h2, w3, y);
+  };
+  bench::ParallelBenchRecord rec;
+  rec.name = "gemm_mlp_forward_b64";
+  rec.threads = threads;
+  set_thread_count(1);
+  rec.serial_ns = time_best_ns(200, forward);
+  const Matrix serial_y = y;
+  set_thread_count(threads);
+  rec.threaded_ns = time_best_ns(200, forward);
+  set_thread_count(1);
+  rec.identical = std::memcmp(serial_y.data(), y.data(),
+                              y.size() * sizeof(double)) == 0;
+  rec.flops = 2.0 * kBatch * (kIn * kHidden + kHidden * kHidden + kHidden);
+  rec.bytes = static_cast<double>(sizeof(double)) *
+              (x.size() + w1.size() + w2.size() + w3.size() +
+               2 * (h1.size() + h2.size()) + y.size());
+  return rec;
+}
+
+// End-to-end fused inference: encode -> standardize -> batched forward ->
+// inverse scaling over a 1024-arch batch, serial vs pool-threaded row
+// encoding. Counts only the MLP multiply flops (encoding is bookkeeping).
+bench::ParallelBenchRecord bench_predict_all(int threads) {
+  const SupernetSpec spec = resnet_spec();
+  bench::LabeledSet train;
+  RandomSampler sampler(spec);
+  Rng rng(10);
+  const LatencyModel model(rtx4090_spec());
+  for (int i = 0; i < 500; ++i) {
+    const ArchConfig arch = sampler.sample(rng);
+    train.add({arch, model.true_latency_ms(build_graph(spec, arch))});
+  }
+  set_thread_count(1);
+  MlpSurrogate surrogate(make_encoder(EncodingKind::kFcc, spec),
+                         bench::paper_train_config(30), 11);
+  surrogate.fit(train.archs, train.latencies_ms);
+  const auto batch = sampler.sample_n(1024, rng);
+
+  bench::ParallelBenchRecord rec;
+  rec.name = "predict_all_1024";
+  rec.threads = threads;
+  std::vector<double> serial_pred, threaded_pred;
+  set_thread_count(1);
+  rec.serial_ns =
+      time_best_ns(20, [&] { serial_pred = surrogate.predict_all(batch); });
+  set_thread_count(threads);
+  rec.threaded_ns =
+      time_best_ns(20, [&] { threaded_pred = surrogate.predict_all(batch); });
+  set_thread_count(1);
+  rec.identical = serial_pred == threaded_pred;
+  const double dim = static_cast<double>(surrogate.encoder().dimension());
+  rec.flops = 2.0 * static_cast<double>(batch.size()) *
+              (dim * 64.0 + 64.0 * 64.0 + 64.0);
   return rec;
 }
 
@@ -237,26 +313,46 @@ bench::ParallelBenchRecord bench_measure_batch(std::size_t batch,
 
 void run_parallel_suite() {
   const int threads = threaded_target();
+  bench::ParallelBenchMeta meta;
+  meta.backend = gemm_backend();
+  meta.simd_width = gemm_simd_width();
+  meta.fma = gemm_fma_enabled();
+  meta.peak_gflops = gemm_peak_gflops();
+  meta.threads = threads;
+
   std::vector<bench::ParallelBenchRecord> records;
+  records.push_back(bench_gemm_mlp_shape(threads));
   for (std::size_t n : {256u, 512u, 1024u}) {
     records.push_back(bench_gemm(n, threads));
   }
+  records.push_back(bench_predict_all(threads));
   records.push_back(bench_measure_batch(64, threads));
 
-  std::cout << "\nSerial vs threaded (" << threads << " threads):\n";
+  std::cout << "\nSerial vs threaded (" << threads << " threads, backend "
+            << meta.backend << ", single-core peak " << meta.peak_gflops
+            << " GFLOPS):\n";
   for (const auto& r : records) {
     std::cout << "  " << r.name << ": " << r.serial_ns / 1e6 << " ms -> "
               << r.threaded_ns / 1e6 << " ms ("
               << (r.threaded_ns > 0 ? r.serial_ns / r.threaded_ns : 0.0)
               << "x, results " << (r.identical ? "identical" : "DIFFER")
-              << ")\n";
+              << ")";
+    if (r.flops > 0.0 && r.serial_ns > 0.0) {
+      const double gflops = r.flops / r.serial_ns;
+      std::cout << " [" << gflops << " GFLOPS serial";
+      if (meta.peak_gflops > 0.0) {
+        std::cout << ", " << 100.0 * gflops / meta.peak_gflops << "% of peak";
+      }
+      std::cout << "]";
+    }
+    std::cout << "\n";
     if (!r.identical) {
       std::cerr << "FATAL: " << r.name
                 << " produced thread-count-dependent results\n";
       std::exit(1);
     }
   }
-  bench::write_parallel_bench_json("BENCH_parallel.json", records);
+  bench::write_parallel_bench_json("BENCH_parallel.json", records, meta);
   std::cout << "wrote BENCH_parallel.json\n";
 }
 

@@ -5,13 +5,16 @@
 #   scripts/ci.sh full    fast tier, then the remaining (slow) suites, then
 #                         a kill -9 resume smoke test of `esm_cli measure
 #                         --journal/--resume`, then a loopback smoke test of
-#                         the esm_serve server binary, then an ASan build
-#                         running the surrogate + esm + corruption-matrix
-#                         suites, then a TSan build running the fault +
-#                         parallel + journal + serve suites (journal writes
-#                         sit on the ordered reduction path of the thread
-#                         pool; serve exercises sessions, batcher, and cache
-#                         concurrently)
+#                         the esm_serve server binary, then a scalar-fallback
+#                         build (-DESM_SIMD=off) running the linalg + encoding
+#                         + parallel + fastpath + serve suites (the portable
+#                         GEMM path must stay green and bit-identical), then
+#                         an ASan build running the linalg + surrogate + esm +
+#                         corruption-matrix suites, then a TSan build running
+#                         the linalg + fault + parallel + journal + serve
+#                         suites (journal writes sit on the ordered reduction
+#                         path of the thread pool; serve exercises sessions,
+#                         batcher, and cache concurrently)
 #
 # Thread-count invariance is covered inside the suites themselves
 # (parallel_test pins 1-thread vs 8-thread bit-identity), so CI only needs
@@ -82,20 +85,34 @@ wait "$SERVE_PID" \
   || { echo "esm_serve exited non-zero after shutdown"; exit 1; }
 echo "loopback serve smoke test passed"
 
-echo "== asan tier (surrogate + esm + corruption suites) =="
+echo "== scalar tier (ESM_SIMD=off: portable GEMM path) =="
+# The vector microkernel and the scalar fallback must agree bit-for-bit;
+# run the math-heavy suites against the fallback so it can never rot.
+# (fastpath_test replaces operator new, so it runs here and in the plain
+# build but stays out of the sanitizer tiers, which bring their own
+# allocators.)
+cmake -B build-scalar -S . -DCMAKE_BUILD_TYPE=Release \
+  -DESM_SIMD=off >/dev/null
+cmake --build build-scalar -j "$JOBS" \
+  --target linalg_test encoding_test parallel_test fastpath_test serve_test
+ctest --test-dir build-scalar --output-on-failure \
+  -R '^(linalg_test|encoding_test|parallel_test|fastpath_test|serve_test)$'
+
+echo "== asan tier (linalg + surrogate + esm + corruption suites) =="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DESM_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS" \
-  --target surrogate_test surrogate_registry_test esm_test corruption_test
+  --target linalg_test surrogate_test surrogate_registry_test esm_test \
+  corruption_test
 ctest --test-dir build-asan --output-on-failure \
-  -R '^(surrogate_test|surrogate_registry_test|esm_test|corruption_test)$'
+  -R '^(linalg_test|surrogate_test|surrogate_registry_test|esm_test|corruption_test)$'
 
-echo "== tsan tier (fault + parallel + journal + serve suites) =="
+echo "== tsan tier (linalg + fault + parallel + journal + serve suites) =="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DESM_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
-  --target fault_test parallel_test journal_test serve_test
+  --target linalg_test fault_test parallel_test journal_test serve_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R '^(fault_test|parallel_test|journal_test|serve_test)$'
+  -R '^(linalg_test|fault_test|parallel_test|journal_test|serve_test)$'
 
 echo "CI full tier passed."

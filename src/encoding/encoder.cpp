@@ -1,5 +1,7 @@
 #include "encoding/encoder.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "encoding/encoders.hpp"
@@ -39,13 +41,18 @@ std::vector<EncodingKind> all_encoding_kinds() {
           EncodingKind::kFcc};
 }
 
+void Encoder::encode_into(const ArchConfig& arch,
+                          std::span<double> out) const {
+  ESM_CHECK(out.size() == dimension(), "encode_into buffer size mismatch");
+  const std::vector<double> z = encode(arch);
+  ESM_CHECK(z.size() == dimension(), "encoder produced a wrong-size vector");
+  std::copy(z.begin(), z.end(), out.begin());
+}
+
 Matrix Encoder::encode_all(std::span<const ArchConfig> archs) const {
   Matrix out(archs.size(), dimension());
   for (std::size_t r = 0; r < archs.size(); ++r) {
-    const std::vector<double> z = encode(archs[r]);
-    ESM_CHECK(z.size() == dimension(), "encoder produced a wrong-size vector");
-    auto row = out.row(r);
-    for (std::size_t c = 0; c < z.size(); ++c) row[c] = z[c];
+    encode_into(archs[r], out.row(r));
   }
   return out;
 }

@@ -54,6 +54,15 @@ class Encoder {
   /// Encodes one architecture; the result has exactly dimension() entries.
   virtual std::vector<double> encode(const ArchConfig& arch) const = 0;
 
+  /// Encodes one architecture into a caller-provided buffer of exactly
+  /// dimension() entries (zero-filled first, then written — bit-identical
+  /// to encode()). The default delegates to encode(); the concrete
+  /// encoders override it to write in place, so batch paths
+  /// (encode_all, the fused MlpSurrogate::predict_all) fill preallocated
+  /// matrix rows with zero per-architecture heap allocations.
+  virtual void encode_into(const ArchConfig& arch,
+                           std::span<double> out) const;
+
   virtual EncodingKind kind() const = 0;
   virtual const SupernetSpec& spec() const = 0;
 

@@ -1,5 +1,6 @@
 #include "encoding/encoders.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -34,6 +35,12 @@ std::size_t EncoderBase::expansion_count() const {
   return spec_.expansion_options.empty() ? 1 : spec_.expansion_options.size();
 }
 
+std::vector<double> EncoderBase::encode(const ArchConfig& arch) const {
+  std::vector<double> z(dimension());
+  encode_into(arch, z);
+  return z;
+}
+
 // ---------------------------------------------------------------- one-hot
 
 OneHotEncoder::OneHotEncoder(SupernetSpec spec)
@@ -51,9 +58,11 @@ std::size_t OneHotEncoder::dimension() const {
   return per_unit * static_cast<std::size_t>(spec_.num_units);
 }
 
-std::vector<double> OneHotEncoder::encode(const ArchConfig& arch) const {
+void OneHotEncoder::encode_into(const ArchConfig& arch,
+                                std::span<double> out) const {
   spec_.validate(arch);
-  std::vector<double> z(dimension(), 0.0);
+  ESM_CHECK(out.size() == dimension(), "encode_into buffer size mismatch");
+  std::fill(out.begin(), out.end(), 0.0);
   const std::size_t depth_options = static_cast<std::size_t>(
       spec_.max_blocks_per_unit - spec_.min_blocks_per_unit + 1);
   const std::size_t kernels = spec_.kernel_options.size();
@@ -67,17 +76,16 @@ std::vector<double> OneHotEncoder::encode(const ArchConfig& arch) const {
   for (std::size_t ui = 0; ui < arch.units.size(); ++ui) {
     const UnitConfig& unit = arch.units[ui];
     const std::size_t base = ui * per_unit;
-    z[base + static_cast<std::size_t>(unit.depth() -
+    out[base + static_cast<std::size_t>(unit.depth() -
                                       spec_.min_blocks_per_unit)] = 1.0;
     for (std::size_t bi = 0; bi < unit.blocks.size(); ++bi) {
       const std::size_t slot = base + depth_options + bi * per_slot;
-      z[slot + kernel_index(unit.blocks[bi].kernel)] = 1.0;
+      out[slot + kernel_index(unit.blocks[bi].kernel)] = 1.0;
       if (expansions > 0) {
-        z[slot + kernels + expansion_index(unit.blocks[bi].expansion)] = 1.0;
+        out[slot + kernels + expansion_index(unit.blocks[bi].expansion)] = 1.0;
       }
     }
   }
-  return z;
 }
 
 // ---------------------------------------------------------------- feature
@@ -94,9 +102,11 @@ std::size_t FeatureEncoder::dimension() const {
   return per_unit * static_cast<std::size_t>(spec_.num_units);
 }
 
-std::vector<double> FeatureEncoder::encode(const ArchConfig& arch) const {
+void FeatureEncoder::encode_into(const ArchConfig& arch,
+                                 std::span<double> out) const {
   spec_.validate(arch);
-  std::vector<double> z(dimension(), 0.0);
+  ESM_CHECK(out.size() == dimension(), "encode_into buffer size mismatch");
+  std::fill(out.begin(), out.end(), 0.0);
   const bool has_expansion = !spec_.expansion_options.empty();
   const std::size_t features_per_block = has_expansion ? 2 : 1;
   const std::size_t per_unit =
@@ -106,14 +116,13 @@ std::vector<double> FeatureEncoder::encode(const ArchConfig& arch) const {
   for (std::size_t ui = 0; ui < arch.units.size(); ++ui) {
     const UnitConfig& unit = arch.units[ui];
     const std::size_t base = ui * per_unit;
-    z[base] = static_cast<double>(unit.depth());
+    out[base] = static_cast<double>(unit.depth());
     for (std::size_t bi = 0; bi < unit.blocks.size(); ++bi) {
       const std::size_t slot = base + 1 + bi * features_per_block;
-      z[slot] = static_cast<double>(unit.blocks[bi].kernel);
-      if (has_expansion) z[slot + 1] = unit.blocks[bi].expansion;
+      out[slot] = static_cast<double>(unit.blocks[bi].kernel);
+      if (has_expansion) out[slot + 1] = unit.blocks[bi].expansion;
     }
   }
-  return z;
 }
 
 // ------------------------------------------------------------ statistical
@@ -132,26 +141,33 @@ std::size_t StatisticalEncoder::dimension() const {
   return static_cast<std::size_t>(spec_.num_units) + 2 * features_per_block;
 }
 
-std::vector<double> StatisticalEncoder::encode(const ArchConfig& arch) const {
+void StatisticalEncoder::encode_into(const ArchConfig& arch,
+                                     std::span<double> out) const {
   spec_.validate(arch);
-  std::vector<double> z(dimension(), 0.0);
+  ESM_CHECK(out.size() == dimension(), "encode_into buffer size mismatch");
+  std::fill(out.begin(), out.end(), 0.0);
 
   if (spec_.kernel_per_unit) {
     // DenseNet-style spaces: the kernel is a unit-level scalar feature, so
     // the unit segment carries it directly (Fig. 7b concatenation).
     for (std::size_t ui = 0; ui < arch.units.size(); ++ui) {
-      z[2 * ui] = static_cast<double>(arch.units[ui].depth());
-      z[2 * ui + 1] =
+      out[2 * ui] = static_cast<double>(arch.units[ui].depth());
+      out[2 * ui + 1] =
           static_cast<double>(arch.units[ui].blocks.front().kernel);
     }
-    return z;
+    return;
   }
 
   // Block-level feature spaces: unit-level depth scalars...
   const bool has_expansion = !spec_.expansion_options.empty();
-  std::vector<double> kernels, expansions;
+  // Per-thread scratch so the batch paths stay allocation-free once warm;
+  // the values fed to mean/stddev are exactly those of the allocating
+  // version, so results are bit-identical.
+  static thread_local std::vector<double> kernels, expansions;
+  kernels.clear();
+  expansions.clear();
   for (std::size_t ui = 0; ui < arch.units.size(); ++ui) {
-    z[ui] = static_cast<double>(arch.units[ui].depth());
+    out[ui] = static_cast<double>(arch.units[ui].depth());
     for (const BlockConfig& b : arch.units[ui].blocks) {
       kernels.push_back(static_cast<double>(b.kernel));
       if (has_expansion) expansions.push_back(b.expansion);
@@ -159,13 +175,12 @@ std::vector<double> StatisticalEncoder::encode(const ArchConfig& arch) const {
   }
   // ...plus summary mean/std of the block-feature lists ([11]-style).
   const std::size_t base = arch.units.size();
-  z[base] = mean(kernels);
-  z[base + 1] = population_stddev(kernels);
+  out[base] = mean(kernels);
+  out[base + 1] = population_stddev(kernels);
   if (has_expansion) {
-    z[base + 2] = mean(expansions);
-    z[base + 3] = population_stddev(expansions);
+    out[base + 2] = mean(expansions);
+    out[base + 3] = population_stddev(expansions);
   }
-  return z;
 }
 
 // ---------------------------------------------------------- feature count
@@ -180,24 +195,25 @@ std::size_t FeatureCountEncoder::dimension() const {
   return per_unit * static_cast<std::size_t>(spec_.num_units);
 }
 
-std::vector<double> FeatureCountEncoder::encode(const ArchConfig& arch) const {
+void FeatureCountEncoder::encode_into(const ArchConfig& arch,
+                                      std::span<double> out) const {
   spec_.validate(arch);
+  ESM_CHECK(out.size() == dimension(), "encode_into buffer size mismatch");
+  std::fill(out.begin(), out.end(), 0.0);
   const std::size_t kernels = spec_.kernel_options.size();
   const std::size_t expansions =
       spec_.expansion_options.empty() ? 0 : spec_.expansion_options.size();
   const std::size_t per_unit = kernels + expansions;
-  std::vector<double> z(dimension(), 0.0);
 
   for (std::size_t ui = 0; ui < arch.units.size(); ++ui) {
     const std::size_t base = ui * per_unit;
     for (const BlockConfig& b : arch.units[ui].blocks) {
-      z[base + kernel_index(b.kernel)] += 1.0;
+      out[base + kernel_index(b.kernel)] += 1.0;
       if (expansions > 0) {
-        z[base + kernels + expansion_index(b.expansion)] += 1.0;
+        out[base + kernels + expansion_index(b.expansion)] += 1.0;
       }
     }
   }
-  return z;
 }
 
 // ------------------------------------------------------------------- FCC
@@ -217,17 +233,18 @@ std::size_t FccEncoder::dimension() const {
   return combinations() * static_cast<std::size_t>(spec_.num_units);
 }
 
-std::vector<double> FccEncoder::encode(const ArchConfig& arch) const {
+void FccEncoder::encode_into(const ArchConfig& arch,
+                             std::span<double> out) const {
   spec_.validate(arch);
+  ESM_CHECK(out.size() == dimension(), "encode_into buffer size mismatch");
+  std::fill(out.begin(), out.end(), 0.0);
   const std::size_t per_unit = combinations();
-  std::vector<double> z(dimension(), 0.0);
   for (std::size_t ui = 0; ui < arch.units.size(); ++ui) {
     const std::size_t base = ui * per_unit;
     for (const BlockConfig& b : arch.units[ui].blocks) {
-      z[base + combination_index(b)] += 1.0;
+      out[base + combination_index(b)] += 1.0;
     }
   }
-  return z;
 }
 
 }  // namespace esm

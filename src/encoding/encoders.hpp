@@ -12,6 +12,10 @@ class EncoderBase : public Encoder {
 
   const SupernetSpec& spec() const final { return spec_; }
 
+  /// Allocating encode, implemented on top of the subclass's in-place
+  /// encode_into (the concrete schemes only implement the latter).
+  std::vector<double> encode(const ArchConfig& arch) const final;
+
  protected:
   /// Index of `kernel` within the spec's kernel options (throws if unknown).
   std::size_t kernel_index(int kernel) const;
@@ -32,7 +36,7 @@ class OneHotEncoder final : public EncoderBase {
  public:
   explicit OneHotEncoder(SupernetSpec spec);
   std::size_t dimension() const override;
-  std::vector<double> encode(const ArchConfig& arch) const override;
+  void encode_into(const ArchConfig& arch, std::span<double> out) const override;
   EncodingKind kind() const override { return EncodingKind::kOneHot; }
 };
 
@@ -42,7 +46,7 @@ class FeatureEncoder final : public EncoderBase {
  public:
   explicit FeatureEncoder(SupernetSpec spec);
   std::size_t dimension() const override;
-  std::vector<double> encode(const ArchConfig& arch) const override;
+  void encode_into(const ArchConfig& arch, std::span<double> out) const override;
   EncodingKind kind() const override { return EncodingKind::kFeature; }
 };
 
@@ -60,7 +64,7 @@ class StatisticalEncoder final : public EncoderBase {
  public:
   explicit StatisticalEncoder(SupernetSpec spec);
   std::size_t dimension() const override;
-  std::vector<double> encode(const ArchConfig& arch) const override;
+  void encode_into(const ArchConfig& arch, std::span<double> out) const override;
   EncodingKind kind() const override { return EncodingKind::kStatistical; }
 };
 
@@ -70,7 +74,7 @@ class FeatureCountEncoder final : public EncoderBase {
  public:
   explicit FeatureCountEncoder(SupernetSpec spec);
   std::size_t dimension() const override;
-  std::vector<double> encode(const ArchConfig& arch) const override;
+  void encode_into(const ArchConfig& arch, std::span<double> out) const override;
   EncodingKind kind() const override { return EncodingKind::kFeatureCount; }
 };
 
@@ -81,7 +85,7 @@ class FccEncoder final : public EncoderBase {
  public:
   explicit FccEncoder(SupernetSpec spec);
   std::size_t dimension() const override;
-  std::vector<double> encode(const ArchConfig& arch) const override;
+  void encode_into(const ArchConfig& arch, std::span<double> out) const override;
   EncodingKind kind() const override { return EncodingKind::kFcc; }
 
   /// Flat combination index of a block's features (kernel-major).

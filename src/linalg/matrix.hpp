@@ -39,6 +39,13 @@ class Matrix {
     return data_[r * cols_ + c];
   }
 
+  /// Resizes to rows x cols reusing the existing allocation when capacity
+  /// allows; element values are unspecified afterwards (stale data may
+  /// remain). For hot paths that overwrite the whole matrix (the GEMM
+  /// drivers, the fused predict workspace) — use the (rows, cols)
+  /// constructor when zero-initialization is needed.
+  void reshape(std::size_t rows, std::size_t cols);
+
   /// Mutable view of row r.
   std::span<double> row(std::size_t r) {
     return {data_.data() + r * cols_, cols_};
@@ -77,11 +84,16 @@ class Matrix {
   std::vector<double> data_;
 };
 
-// The GEMM variants below are cache-blocked and parallelized over row
-// bands of the output via esm::parallel_for (common/parallel.hpp). Each
-// output element accumulates its k-products in ascending-k order no matter
-// the tiling or thread count, so results are bit-identical at any
-// ESM_THREADS setting (and to the historical serial kernels).
+// The GEMM variants below share one cache-blocked, register-tiled,
+// vectorized microkernel (see DESIGN.md §6g). Large outputs are
+// parallelized over row bands via esm::parallel_for (common/parallel.hpp);
+// small multiplies — the MLP serving shape in particular — stay on the
+// caller thread entirely. Each output element accumulates its k-products
+// in ascending-k order with separate multiply and add (no FMA contraction
+// unless the ESM_FMA build option is on), no matter the SIMD width, tiling,
+// or thread count — so results are bit-identical at every ESM_THREADS
+// setting, on every backend, and to the historical serial kernels.
+// `out` must not alias `a` or `b` (checked); a and b may alias each other.
 
 /// out = a * b. Shapes: (m x k) * (k x n) -> (m x n). `out` is resized.
 void gemm(const Matrix& a, const Matrix& b, Matrix& out);
@@ -91,6 +103,25 @@ void gemm_at_b(const Matrix& a, const Matrix& b, Matrix& out);
 
 /// out = a * b^T. Shapes: (m x k) * (n x k)^T -> (m x n).
 void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// Name of the compiled-in GEMM backend: "avx512", "avx2", "simd128"
+/// (SSE2/NEON-width generic vectors), or "scalar" (ESM_SIMD=off or a
+/// compiler without GNU vector extensions).
+const char* gemm_backend();
+
+/// SIMD lanes (doubles per vector) of the compiled-in microkernel; 1 for
+/// the scalar backend.
+std::size_t gemm_simd_width();
+
+/// True when the kernel was built with ESM_FMA=ON (FMA contraction
+/// allowed; low-order result bits then differ from the default build).
+bool gemm_fma_enabled();
+
+/// Measures the attainable multiply-add peak of this build (same vector
+/// width and contraction rules as the microkernel) by timing independent
+/// mul+add chains for ~`seconds`. Used by bench/micro_perf.cpp to report
+/// fraction-of-peak; not a hot-path function.
+double gemm_peak_gflops(double seconds = 0.02);
 
 /// y = A * x for a vector x. Requires x.size() == A.cols().
 std::vector<double> matvec(const Matrix& a, std::span<const double> x);

@@ -60,24 +60,42 @@ void dense_forward(const Matrix& x, const Matrix& w,
 }  // namespace
 
 Matrix Mlp::forward(const Matrix& x) const {
+  Workspace ws;
+  return forward_into(x, ws);  // copies the result out of the workspace
+}
+
+const Matrix& Mlp::forward_into(const Matrix& x, Workspace& ws) const {
   ESM_REQUIRE(x.cols() == input_dim(),
               "MLP input dim " << x.cols() << " != " << input_dim());
-  Matrix h = x;
-  Matrix next;
+  // Ping-pong between the two workspace buffers: layer i reads the
+  // previous layer's buffer (or x) and writes the other one, so no layer
+  // ever aliases its input and no per-layer matrix is allocated.
+  const Matrix* cur = &x;
+  Matrix* bufs[2] = {&ws.a, &ws.b};
+  std::size_t which = 0;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
+    Matrix* next = bufs[which];
+    which ^= 1;
     const bool relu = i + 1 < layers_.size();
-    dense_forward(h, layers_[i].w, layers_[i].b, relu, next);
-    h = std::move(next);
+    dense_forward(*cur, layers_[i].w, layers_[i].b, relu, *next);
+    cur = next;
   }
-  return h;
+  return *cur;
 }
 
 std::vector<double> Mlp::predict(const Matrix& x) const {
-  ESM_REQUIRE(output_dim() == 1, "predict() requires a scalar-output MLP");
-  const Matrix out = forward(x);
-  std::vector<double> y(out.rows());
-  for (std::size_t r = 0; r < out.rows(); ++r) y[r] = out(r, 0);
+  Workspace ws;
+  std::vector<double> y(x.rows());
+  predict_into(x, y, ws);
   return y;
+}
+
+void Mlp::predict_into(const Matrix& x, std::span<double> out,
+                       Workspace& ws) const {
+  ESM_REQUIRE(output_dim() == 1, "predict() requires a scalar-output MLP");
+  ESM_REQUIRE(out.size() == x.rows(), "predict_into output size mismatch");
+  const Matrix& h = forward_into(x, ws);
+  for (std::size_t r = 0; r < h.rows(); ++r) out[r] = h(r, 0);
 }
 
 double Mlp::predict_one(std::span<const double> features) const {

@@ -40,11 +40,30 @@ class Mlp {
   std::size_t output_dim() const { return dims_.back(); }
   std::size_t parameter_count() const;
 
+  /// Reusable activation buffers for the allocation-free forward path.
+  /// Warm after one call at a given batch size; safe to share across calls
+  /// on the same thread (the fused surrogate path keeps one per thread).
+  struct Workspace {
+    Matrix a, b;
+  };
+
   /// Batched forward pass: returns an (x.rows() x output_dim) matrix.
   Matrix forward(const Matrix& x) const;
 
+  /// Batched forward pass into caller-owned buffers; returns a reference
+  /// to the workspace buffer holding the output (valid until the next call
+  /// with the same workspace). Performs no heap allocation once `ws` has
+  /// warmed to the batch size. Bit-identical to forward().
+  const Matrix& forward_into(const Matrix& x, Workspace& ws) const;
+
   /// Convenience: forward for scalar-output networks.
   std::vector<double> predict(const Matrix& x) const;
+
+  /// predict() into a caller-provided span (out.size() == x.rows());
+  /// allocation-free once `ws` is warm.
+  void predict_into(const Matrix& x, std::span<double> out,
+                    Workspace& ws) const;
+
   double predict_one(std::span<const double> features) const;
 
   /// One Adam step on a minibatch (MSE loss, scalar output). Returns the

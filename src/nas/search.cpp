@@ -68,13 +68,25 @@ SearchResult EvolutionarySearch::run(const LatencyPredictor& predictor,
   RandomSampler sampler(spec_);
 
   SearchResult result;
-  auto score = [&](const ArchConfig& arch) {
-    Candidate c;
-    c.arch = arch;
-    c.predicted_latency_ms = predictor.predict_ms(arch);
-    c.proxy_accuracy = proxy.top5_accuracy(arch);
-    ++result.evaluations;
-    return c;
+  // Scores population[first..) in one predict_all batch — the MLP-backed
+  // surrogates serve it through the fused encode->GEMM fast path, which is
+  // bit-identical to per-arch predict_ms, so search results are unchanged.
+  auto score_tail = [&](std::vector<Candidate>& pop, std::size_t first) {
+    const std::vector<ArchConfig> archs(
+        [&] {
+          std::vector<ArchConfig> a;
+          a.reserve(pop.size() - first);
+          for (std::size_t i = first; i < pop.size(); ++i) {
+            a.push_back(pop[i].arch);
+          }
+          return a;
+        }());
+    const std::vector<double> latencies = predictor.predict_all(archs);
+    for (std::size_t i = first; i < pop.size(); ++i) {
+      pop[i].predicted_latency_ms = latencies[i - first];
+      pop[i].proxy_accuracy = proxy.top5_accuracy(pop[i].arch);
+      ++result.evaluations;
+    }
   };
   // Fitness: feasible candidates rank by accuracy; infeasible ones rank
   // below every feasible candidate, least-violating first.
@@ -88,8 +100,11 @@ SearchResult EvolutionarySearch::run(const LatencyPredictor& predictor,
   std::vector<Candidate> population;
   population.reserve(config_.population);
   for (std::size_t i = 0; i < config_.population; ++i) {
-    population.push_back(score(sampler.sample(rng)));
+    Candidate c;
+    c.arch = sampler.sample(rng);
+    population.push_back(std::move(c));
   }
+  score_tail(population, 0);
 
   for (int gen = 0; gen < config_.generations; ++gen) {
     std::sort(population.begin(), population.end(),
@@ -97,6 +112,10 @@ SearchResult EvolutionarySearch::run(const LatencyPredictor& predictor,
                 return fitness(x) > fitness(y);
               });
     population.resize(std::min(config_.parents, population.size()));
+    // Generate the whole offspring cohort first (scoring consumes no
+    // randomness, so deferring it leaves the RNG draw order untouched),
+    // then score the unscored tail as one batch.
+    const std::size_t survivors = population.size();
     while (population.size() < config_.population) {
       const std::size_t i = static_cast<std::size_t>(rng.uniform_int(
           0, static_cast<int>(std::min(config_.parents, population.size())) -
@@ -104,10 +123,12 @@ SearchResult EvolutionarySearch::run(const LatencyPredictor& predictor,
       const std::size_t j = static_cast<std::size_t>(rng.uniform_int(
           0, static_cast<int>(std::min(config_.parents, population.size())) -
                  1));
-      ArchConfig child = crossover(population[i].arch, population[j].arch, rng);
-      mutate(child, rng);
-      population.push_back(score(child));
+      Candidate c;
+      c.arch = crossover(population[i].arch, population[j].arch, rng);
+      mutate(c.arch, rng);
+      population.push_back(std::move(c));
     }
+    score_tail(population, survivors);
   }
 
   std::sort(population.begin(), population.end(),

@@ -98,6 +98,19 @@ double EnsembleSurrogate::predict_ms(const ArchConfig& arch) const {
   return predict_with_uncertainty(arch).mean_ms;
 }
 
+std::vector<double> EnsembleSurrogate::predict_all(
+    std::span<const ArchConfig> archs) const {
+  ESM_REQUIRE(fitted(), "EnsembleSurrogate used before fit()");
+  std::vector<double> sums(archs.size(), 0.0);
+  for (const auto& member : members_) {
+    const std::vector<double> preds = member->predict_all(archs);
+    for (std::size_t i = 0; i < preds.size(); ++i) sums[i] += preds[i];
+  }
+  const double n = static_cast<double>(members_.size());
+  for (double& v : sums) v /= n;
+  return sums;
+}
+
 std::string EnsembleSurrogate::name() const {
   return "Ensemble(" + std::to_string(members_.size()) + ")x" +
          members_.front()->name();

@@ -43,6 +43,13 @@ class EnsembleSurrogate final : public TrainableSurrogate {
   EnsemblePrediction predict_with_uncertainty(const ArchConfig& arch) const;
 
   double predict_ms(const ArchConfig& arch) const override;
+
+  /// Batch prediction through each member's fused predict_all, reduced in
+  /// member order per index — the same summation order predict_ms uses,
+  /// so results are bit-identical to the per-arch path.
+  std::vector<double> predict_all(
+      std::span<const ArchConfig> archs) const override;
+
   std::string name() const override;
   std::string kind() const override { return "ensemble"; }
   std::string encoder_key() const override;

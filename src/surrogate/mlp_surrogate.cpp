@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "encoding/registry.hpp"
 
@@ -46,6 +47,42 @@ double MlpSurrogate::predict_ms(const ArchConfig& arch) const {
   input_standardizer_.transform_row(z);
   const double standardized = mlp_->predict_one(z);
   return target_scaler_.inverse(standardized);
+}
+
+std::vector<double> MlpSurrogate::predict_all(
+    std::span<const ArchConfig> archs) const {
+  ESM_REQUIRE(fitted(), "MlpSurrogate used before fit()");
+  std::vector<double> out(archs.size());
+  if (archs.empty()) return out;
+
+  // Per-thread workspace reused across calls: once warmed to the largest
+  // batch seen, the serve batcher's steady state performs zero
+  // per-architecture heap allocations (fastpath_test pins this).
+  struct FusedWorkspace {
+    Matrix x;
+    Mlp::Workspace mlp;
+  };
+  static thread_local FusedWorkspace tl_ws;
+  // Bind through a local reference: a thread_local named inside the lambda
+  // below would resolve to each pool worker's own (empty) instance.
+  FusedWorkspace& ws = tl_ws;
+  ws.x.reshape(archs.size(), encoder_->dimension());
+  // Rows are independent, so encoding fans out over the pool; the grain
+  // keeps serving-size batches on the caller (the batched forward below
+  // dominates there anyway). Each row is written in place: encode_into
+  // fills it, then standardization runs over the same span — the exact
+  // operation sequence predict_ms applies to its own vector.
+  parallel_for(/*grain=*/64, archs.size(),
+               [&](std::size_t r0, std::size_t r1) {
+                 for (std::size_t r = r0; r < r1; ++r) {
+                   auto row = ws.x.row(r);
+                   encoder_->encode_into(archs[r], row);
+                   input_standardizer_.transform_row(row);
+                 }
+               });
+  mlp_->predict_into(ws.x, out, ws.mlp);
+  for (double& v : out) v = target_scaler_.inverse(v);
+  return out;
 }
 
 void MlpSurrogate::fit(const SurrogateDataset& data) {

@@ -33,6 +33,16 @@ class MlpSurrogate final : public TrainableSurrogate {
   void fit(const SurrogateDataset& data) override;
 
   double predict_ms(const ArchConfig& arch) const override;
+
+  /// Fused batch prediction: encodes every arch directly into one
+  /// preallocated input matrix (Encoder::encode_into), standardizes rows
+  /// in place, and runs a single batched MLP forward through per-thread
+  /// workspaces — zero per-architecture heap allocations once warm
+  /// (tests/fastpath_test.cpp pins this). Bit-identical to calling
+  /// predict_ms per arch, at every thread count.
+  std::vector<double> predict_all(
+      std::span<const ArchConfig> archs) const override;
+
   std::string name() const override;
   std::string kind() const override { return "mlp"; }
   std::string encoder_key() const override;

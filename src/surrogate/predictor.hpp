@@ -24,7 +24,10 @@ class LatencyPredictor {
   /// Batch prediction. The default fans out over the deterministic thread
   /// pool (results in input order, bit-identical at any thread count);
   /// surrogates whose predict_ms is not const-pure (e.g. the lazily
-  /// profiling LUT) override this with a serial loop.
+  /// profiling LUT) override this with a serial loop, and the MLP-backed
+  /// surrogates override it with the fused encode->standardize->batched
+  /// GEMM fast path (allocation-free once warm, still bit-identical to
+  /// per-arch predict_ms).
   virtual std::vector<double> predict_all(
       std::span<const ArchConfig> archs) const;
 };

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <set>
 
 #include "common/error.hpp"
@@ -305,6 +306,33 @@ TEST(EncodingFactoryTest, EncodeAllMatrixMatchesRowEncodes) {
     const std::vector<double> z = fcc.encode(archs[r]);
     for (std::size_t c = 0; c < z.size(); ++c) {
       EXPECT_DOUBLE_EQ(m(r, c), z[c]);
+    }
+  }
+}
+
+TEST(EncodingFactoryTest, EncodeIntoMatchesEncodeBitForBit) {
+  // The fused predict path writes encodings straight into matrix rows via
+  // encode_into. Pin that for every encoder x space the in-place write is
+  // byte-identical to the allocating encode(), even into a dirty buffer.
+  Rng rng(7);
+  for (const SupernetSpec& spec :
+       {resnet_spec(), mobilenet_v3_spec(), densenet_spec()}) {
+    RandomSampler sampler(spec);
+    for (EncodingKind kind : all_encoding_kinds()) {
+      auto enc = make_encoder(kind, spec);
+      for (int i = 0; i < 10; ++i) {
+        const ArchConfig arch = sampler.sample(rng);
+        const std::vector<double> z = enc->encode(arch);
+        ASSERT_EQ(z.size(), enc->dimension());
+        std::vector<double> buf(enc->dimension(), -12345.678);  // sentinel
+        enc->encode_into(arch, buf);
+        EXPECT_EQ(0, std::memcmp(buf.data(), z.data(),
+                                 z.size() * sizeof(double)))
+            << enc->name() << " on space " << static_cast<int>(spec.kind);
+      }
+      // Wrong-size buffers are rejected rather than over/under-written.
+      std::vector<double> wrong(enc->dimension() + 1);
+      EXPECT_THROW(enc->encode_into(sampler.sample(rng), wrong), LogicError);
     }
   }
 }

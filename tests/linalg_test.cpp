@@ -2,7 +2,9 @@
 // squares, and standardization.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -284,6 +286,144 @@ TEST(TargetScalerTest, RoundTrips) {
     EXPECT_NEAR(sc.inverse(sc.transform(v)), v, 1e-12);
   }
   EXPECT_NEAR(sc.transform(sc.mean()), 0.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------
+// GEMM equivalence matrix: the cache-blocked microkernel vs the naive
+// ascending-k reference, over dimensions chosen to hit every tail path
+// (scalar column tails, 1/2/3-row tails, multi-k-block splits at 256).
+// The kernel's contract is exact: every output element accumulates its
+// k-products in ascending-k order with separate mul+add, so results are
+// bit-identical to the reference on every SIMD backend — unless the
+// build enables FMA contraction (ESM_FMA=ON), where a documented
+// relative bound of 1e-13 (k * half-ulp contraction error) applies.
+
+void expect_gemm_exact(const Matrix& got, const Matrix& want) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  if (gemm_fma_enabled()) {
+    for (std::size_t i = 0; i < got.rows(); ++i) {
+      for (std::size_t j = 0; j < got.cols(); ++j) {
+        const double tol = 1e-13 * std::max(1.0, std::abs(want(i, j)));
+        EXPECT_NEAR(got(i, j), want(i, j), tol)
+            << "at (" << i << "," << j << ")";
+      }
+    }
+    return;
+  }
+  EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                        got.size() * sizeof(double)),
+            0)
+      << "microkernel output is not bit-identical to the naive reference";
+}
+
+TEST(GemmEquivalenceTest, MatchesNaiveReferenceOverTailAndPrimeDims) {
+  Rng rng(1234);
+  // Covers: 1 (degenerate), primes (3, 7, 13, 17, 31), SIMD-width
+  // multiples and off-by-ones (8, 16, 33), and a micro-tile multiple (64).
+  const std::size_t dims[] = {1, 3, 7, 8, 13, 16, 17, 31, 33, 64};
+  for (std::size_t m : dims) {
+    for (std::size_t k : dims) {
+      for (std::size_t n : dims) {
+        const Matrix a = random_matrix(m, k, rng);
+        const Matrix b = random_matrix(k, n, rng);
+        const Matrix want = naive_mul(a, b);
+        Matrix out;
+        gemm(a, b, out);
+        expect_gemm_exact(out, want);
+        if (HasFailure()) {
+          FAIL() << "gemm mismatch at m=" << m << " k=" << k << " n=" << n;
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmEquivalenceTest, TransposeVariantsMatchNaiveReference) {
+  Rng rng(77);
+  const std::size_t dims[] = {1, 2, 5, 8, 13, 17, 33, 64};
+  for (std::size_t m : dims) {
+    for (std::size_t k : dims) {
+      for (std::size_t n : dims) {
+        const Matrix a = random_matrix(m, k, rng);
+        const Matrix b = random_matrix(k, n, rng);
+        const Matrix want = naive_mul(a, b);
+        Matrix out;
+        gemm_at_b(a.transposed(), b, out);  // (k x m)^T * (k x n)
+        expect_gemm_exact(out, want);
+        gemm_a_bt(a, b.transposed(), out);  // (m x k) * (n x k)^T
+        expect_gemm_exact(out, want);
+        if (HasFailure()) {
+          FAIL() << "variant mismatch at m=" << m << " k=" << k
+                 << " n=" << n;
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmEquivalenceTest, MultiKBlockSplitIsExact) {
+  // k > 256 forces the store-mode first block plus accumulate-mode later
+  // blocks; the carried partial sums must reproduce single-pass rounding.
+  Rng rng(99);
+  const Matrix a = random_matrix(5, 1031, rng);  // prime k, two tail rows
+  const Matrix b = random_matrix(1031, 19, rng);
+  Matrix out;
+  gemm(a, b, out);
+  expect_gemm_exact(out, naive_mul(a, b));
+}
+
+TEST(GemmEquivalenceTest, ReusedOutputIsOverwrittenCompletely) {
+  // reshape() keeps stale storage; the store-mode first k-block must
+  // define every output element regardless of previous contents.
+  Rng rng(7);
+  Matrix out;
+  const Matrix big_a = random_matrix(32, 8, rng);
+  const Matrix big_b = random_matrix(8, 32, rng);
+  gemm(big_a, big_b, out);
+  const Matrix a = random_matrix(9, 5, rng);
+  const Matrix b = random_matrix(5, 7, rng);
+  gemm(a, b, out);
+  expect_gemm_exact(out, naive_mul(a, b));
+}
+
+TEST(GemmEquivalenceTest, EmptyReductionYieldsZeros) {
+  const Matrix a(3, 0);
+  const Matrix b(0, 4);
+  Matrix out(1, 1, 42.0);
+  gemm(a, b, out);
+  ASSERT_EQ(out.rows(), 3u);
+  ASSERT_EQ(out.cols(), 4u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out.data()[i], 0.0);
+  }
+}
+
+TEST(GemmEquivalenceTest, OutputAliasingAnInputThrows) {
+  Matrix a(4, 4);
+  Matrix b(4, 4);
+  EXPECT_THROW(gemm(a, b, a), LogicError);
+  EXPECT_THROW(gemm_at_b(a, b, b), LogicError);
+  EXPECT_THROW(gemm_a_bt(a, b, a), LogicError);
+}
+
+TEST(GemmBackendTest, IntrospectionIsConsistent) {
+  const std::string backend = gemm_backend();
+  EXPECT_TRUE(backend == "avx512" || backend == "avx2" ||
+              backend == "simd128" || backend == "scalar")
+      << backend;
+  EXPECT_GE(gemm_simd_width(), 1u);
+  EXPECT_EQ(gemm_simd_width() == 1, backend == "scalar");
+}
+
+TEST(MatrixTest, ReshapeReusesCapacityAndKeepsShape) {
+  Matrix m(8, 8);
+  m.reshape(3, 5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 5u);
+  EXPECT_EQ(m.size(), 15u);
+  m.reshape(8, 8);
+  EXPECT_EQ(m.size(), 64u);
 }
 
 TEST(TargetScalerTest, ConstantTargetsScaleOne) {

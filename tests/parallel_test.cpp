@@ -182,6 +182,48 @@ TEST_F(ParallelTest, GemmVariantsAreThreadCountInvariant) {
   EXPECT_EQ(mv_serial, mv);
 }
 
+TEST_F(ParallelTest, LargeGemmIsThreadCountInvariant) {
+  // Big enough (26.9M multiply-adds) to clear the pool-engagement
+  // threshold, so this exercises the banded threaded path for real.
+  const Matrix a = random_matrix(320, 280, 5);
+  const Matrix b = random_matrix(280, 300, 6);
+  Matrix serial_out, threaded_out;
+  set_thread_count(1);
+  gemm(a, b, serial_out);
+  set_thread_count(8);
+  gemm(a, b, threaded_out);
+  EXPECT_TRUE(bit_equal(serial_out, threaded_out));
+}
+
+TEST_F(ParallelTest, SmallGemmStaysOffThePool) {
+  // The PR-1 thresholds let the pool engage on multiplies far below the
+  // hand-off crossover (BENCH_parallel.json showed threaded GEMM at
+  // 0.60-0.98x serial). Pin the retuned dispatch: every MLP serving shape
+  // and 64^3-class multiply runs inline on the caller without ever
+  // starting a worker...
+  shutdown_pool();
+  set_thread_count(8);
+  const Matrix x = random_matrix(64, 36, 21);
+  const Matrix w1 = random_matrix(64, 36, 22);
+  const Matrix w2 = random_matrix(64, 64, 23);
+  const Matrix w3 = random_matrix(1, 64, 24);
+  Matrix h1, h2, y, out;
+  gemm_a_bt(x, w1, h1);   // the 3-layer/hidden-64 inference stack
+  gemm_a_bt(h1, w2, h2);
+  gemm_a_bt(h2, w3, y);
+  const Matrix a = random_matrix(64, 64, 25);
+  const Matrix b = random_matrix(64, 64, 26);
+  gemm(a, b, out);
+  gemm_at_b(a, b, out);
+  EXPECT_EQ(pool_workers(), 0);
+
+  // ...while a multiply above the crossover still fans out.
+  const Matrix big_a = random_matrix(512, 512, 27);
+  const Matrix big_b = random_matrix(512, 512, 28);
+  gemm(big_a, big_b, out);  // 134M multiply-adds
+  EXPECT_GT(pool_workers(), 0);
+}
+
 TEST_F(ParallelTest, TreeSplitScanIsThreadCountInvariant) {
   const Matrix x = random_matrix(400, 12, 5);
   std::vector<double> y(x.rows());
