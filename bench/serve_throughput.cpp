@@ -1,6 +1,7 @@
 // Serving throughput benchmark: drives the online prediction server over
 // in-process streams and reports sustained requests/s plus client-observed
-// latency percentiles for cold vs warm cache at 1 and 8 client threads.
+// latency percentiles for cold vs warm cache at 1 and 8 client threads,
+// plus a two-model routed fleet scenario with per-model warm req/s.
 // Writes BENCH_serve.json next to the binary.
 //
 //   ./serve_throughput [--requests N] [--pool N] [--out PATH]
@@ -9,8 +10,11 @@
 // through the batcher and predict_all; "warm" primes the cache with the
 // whole request pool first, so the measured phase is answered from the
 // sharded LRU. Both phases issue the same request sequence, so the pair
-// isolates the cache's contribution.
+// isolates the cache's contribution. The fleet scenario serves a two-model
+// manifest and alternates routed requests between the models, measuring
+// what routing and per-model caches cost relative to single-model warm.
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <fstream>
@@ -24,6 +28,7 @@
 #include "encoding/registry.hpp"
 #include "ml/gbdt.hpp"
 #include "nets/builder.hpp"
+#include "serve/fleet.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "surrogate/gbdt_surrogate.hpp"
@@ -34,7 +39,8 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 /// Trains a small GBDT on ResNet and saves it where the server can load it.
-std::string build_artifact() {
+/// `label_scale` makes fleet variants with genuinely different bytes.
+std::string build_artifact(const std::string& name, double label_scale) {
   const esm::SupernetSpec spec = esm::resnet_spec();
   esm::SimulatedDevice device(esm::rtx4090_spec(), 7);
   esm::Rng rng(0x5eed);
@@ -43,14 +49,27 @@ std::string build_artifact() {
   std::vector<double> labels;
   labels.reserve(archs.size());
   for (const esm::ArchConfig& arch : archs) {
-    labels.push_back(device.true_latency_ms(esm::build_graph(spec, arch)));
+    labels.push_back(label_scale *
+                     device.true_latency_ms(esm::build_graph(spec, arch)));
   }
   esm::GbdtConfig gbdt;
   gbdt.n_estimators = 30;
   esm::GbdtSurrogate surrogate(esm::make_encoder("fcc", spec), gbdt);
   surrogate.fit(esm::SurrogateDataset{archs, labels});
-  const std::string path = "serve_bench.esm";
-  esm::save_surrogate(surrogate, path);
+  esm::save_surrogate(surrogate, name);
+  return name;
+}
+
+/// A two-model manifest routing "edge" and "cloud" at the two artifacts.
+std::string build_fleet_manifest(const std::string& artifact_a,
+                                 const std::string& artifact_b) {
+  esm::serve::FleetManifest manifest;
+  manifest.upsert(
+      {"edge", esm::serve::file_crc32_hex(artifact_a), artifact_a});
+  manifest.upsert(
+      {"cloud", esm::serve::file_crc32_hex(artifact_b), artifact_b});
+  const std::string path = "serve_bench.esmf";
+  esm::serve::write_manifest_atomic(manifest, path);
   return path;
 }
 
@@ -79,6 +98,12 @@ std::vector<std::string> arch_pool(std::size_t limit) {
   return pool;
 }
 
+struct PerModelResult {
+  std::string model;
+  std::size_t requests = 0;
+  double req_per_s = 0.0;
+};
+
 struct ScenarioResult {
   std::string name;
   int clients = 1;
@@ -88,6 +113,7 @@ struct ScenarioResult {
   double p50_us = 0.0;
   double p95_us = 0.0;
   double p99_us = 0.0;
+  std::vector<PerModelResult> per_model;  ///< fleet scenarios only
 };
 
 double percentile(std::vector<double>& sorted_us, double p) {
@@ -164,6 +190,87 @@ ScenarioResult run_scenario(const std::string& artifact,
   return result;
 }
 
+/// Warm routed two-model workload: every client alternates between the
+/// fleet's models request by request, so each batcher round and cache
+/// lookup carries mixed routes.
+ScenarioResult run_fleet_scenario(const std::string& manifest,
+                                  const std::vector<std::string>& pool,
+                                  int clients,
+                                  std::size_t requests_per_client) {
+  esm::serve::ServeConfig config;
+  config.artifact_path = manifest;
+  config.cache_capacity = 4096;
+  esm::serve::PredictionServer server(config);
+  static const char* kModels[2] = {"edge", "cloud"};
+
+  std::vector<esm::serve::ServeClient> sessions;
+  sessions.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    esm::serve::StreamPair pair = esm::serve::make_stream_pair();
+    server.serve(pair.server);
+    sessions.emplace_back(pair.client);
+  }
+  // Prime both per-model caches so the measured phase is all hits.
+  for (const char* model : kModels) {
+    for (const std::string& arch : pool) sessions[0].predict(model, arch);
+  }
+
+  std::vector<std::vector<double>> latencies_us(
+      static_cast<std::size_t>(clients));
+  std::vector<std::array<std::size_t, 2>> counts(
+      static_cast<std::size_t>(clients), {0, 0});
+  const Clock::time_point begin = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<double>& mine = latencies_us[static_cast<std::size_t>(c)];
+      mine.reserve(requests_per_client);
+      for (std::size_t i = 0; i < requests_per_client; ++i) {
+        const std::size_t which = (static_cast<std::size_t>(c) + i) % 2;
+        const std::string& arch =
+            pool[(static_cast<std::size_t>(c) * 7919 + i * 13) % pool.size()];
+        const Clock::time_point start = Clock::now();
+        sessions[static_cast<std::size_t>(c)].predict(kModels[which], arch);
+        mine.push_back(
+            std::chrono::duration<double, std::micro>(Clock::now() - start)
+                .count());
+        ++counts[static_cast<std::size_t>(c)][which];
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - begin).count();
+
+  std::vector<double> all_us;
+  for (const std::vector<double>& per_client : latencies_us) {
+    all_us.insert(all_us.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all_us.begin(), all_us.end());
+
+  ScenarioResult result;
+  result.name = "fleet_warm_" + std::to_string(clients) + "_clients";
+  result.clients = clients;
+  result.warm = true;
+  result.requests = all_us.size();
+  result.req_per_s =
+      elapsed_s > 0.0 ? static_cast<double>(all_us.size()) / elapsed_s : 0.0;
+  result.p50_us = percentile(all_us, 50);
+  result.p95_us = percentile(all_us, 95);
+  result.p99_us = percentile(all_us, 99);
+  for (std::size_t m = 0; m < 2; ++m) {
+    PerModelResult per;
+    per.model = kModels[m];
+    for (const auto& per_client : counts) per.requests += per_client[m];
+    per.req_per_s = elapsed_s > 0.0
+                        ? static_cast<double>(per.requests) / elapsed_s
+                        : 0.0;
+    result.per_model.push_back(std::move(per));
+  }
+  return result;
+}
+
 void write_json(const std::string& path,
                 const std::vector<ScenarioResult>& results) {
   std::ofstream out(path);
@@ -175,8 +282,18 @@ void write_json(const std::string& path,
         << ", \"warm_cache\": " << (r.warm ? "true" : "false")
         << ", \"requests\": " << r.requests
         << ", \"req_per_s\": " << r.req_per_s << ", \"p50_us\": " << r.p50_us
-        << ", \"p95_us\": " << r.p95_us << ", \"p99_us\": " << r.p99_us << "}"
-        << (i + 1 < results.size() ? "," : "") << "\n";
+        << ", \"p95_us\": " << r.p95_us << ", \"p99_us\": " << r.p99_us;
+    if (!r.per_model.empty()) {
+      out << ", \"per_model\": {";
+      for (std::size_t m = 0; m < r.per_model.size(); ++m) {
+        const PerModelResult& per = r.per_model[m];
+        out << (m > 0 ? ", " : "") << "\"" << per.model
+            << "\": {\"requests\": " << per.requests
+            << ", \"req_per_s\": " << per.req_per_s << "}";
+      }
+      out << "}";
+    }
+    out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "]\n";
 }
@@ -192,7 +309,7 @@ int main(int argc, char** argv) {
   args.add_string("out", "BENCH_serve.json", "output JSON path");
   if (!args.parse(argc, argv)) return 0;
 
-  const std::string artifact = build_artifact();
+  const std::string artifact = build_artifact("serve_bench.esm", 1.0);
   const std::vector<std::string> pool =
       arch_pool(static_cast<std::size_t>(args.get_int("pool")));
   const std::size_t per_client =
@@ -209,6 +326,22 @@ int main(int argc, char** argv) {
                 << r.p50_us << " us, p95 " << r.p95_us << " us, p99 "
                 << r.p99_us << " us\n";
     }
+  }
+
+  const std::string manifest = build_fleet_manifest(
+      artifact, build_artifact("serve_bench_b.esm", 1.37));
+  results.push_back(run_fleet_scenario(manifest, pool, 8, per_client));
+  {
+    const ScenarioResult& r = results.back();
+    std::cout << r.name << ": " << r.requests << " requests, "
+              << static_cast<long long>(r.req_per_s) << " req/s, p50 "
+              << r.p50_us << " us, p95 " << r.p95_us << " us, p99 "
+              << r.p99_us << " us";
+    for (const PerModelResult& per : r.per_model) {
+      std::cout << ", " << per.model << " "
+                << static_cast<long long>(per.req_per_s) << " req/s";
+    }
+    std::cout << "\n";
   }
   write_json(args.get_string("out"), results);
   std::cout << "wrote " << args.get_string("out") << "\n";

@@ -26,6 +26,15 @@
 //             replays the journaled batches and measures only the rest,
 //             producing a byte-identical --out CSV. Exit codes: 0 all
 //             measured, 2 shortfall, 3 resumed-and-complete.
+//   pipeline  measure -> train -> gate -> publish in one crash-safe
+//             command: journaled measurement campaigns (auto-resumed from
+//             <manifest-dir>/.pipeline/), deterministic training, the
+//             Acc_TH gate, and an atomic publish of <name>.esm plus the
+//             fleet manifest esm_serve serves from. Rerunning after a
+//             kill at ANY stage converges to a byte-identical published
+//             manifest; a model failing the gate is never published.
+//             Exit codes: 0 published, 2 gate failed, 3 resumed-and-
+//             published.
 //
 // Examples:
 //   esm_cli train --surrogate gbdt --encoder fcc -o /tmp/m.esm
@@ -38,6 +47,8 @@
 //           --journal /tmp/camp.journal --out /tmp/dataset.csv
 //   esm_cli measure --device rpi4 --count 64 --batch-size 8
 //           --journal /tmp/camp.journal --out /tmp/dataset.csv --resume
+//   esm_cli pipeline --name rpi4 --device rpi4 --surrogate gbdt
+//           --manifest-dir /tmp/fleet
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -52,6 +63,7 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "esm/framework.hpp"
+#include "esm/pipeline.hpp"
 #include "nas/accuracy_proxy.hpp"
 #include "nas/search.hpp"
 #include "nets/builder.hpp"
@@ -465,6 +477,57 @@ int run_measure(const esm::ArgParser& args) {
   return generator.replayed_batches() > 0 ? 3 : 0;
 }
 
+int run_pipeline_cmd(const esm::ArgParser& args) {
+  esm::PipelineConfig config;
+  config.esm.spec = esm::spec_by_name(args.get_string("supernet"));
+  config.esm.strategy =
+      esm::sampling_strategy_from_name(args.get_string("strategy"));
+  config.esm.surrogate = args.get_string("surrogate");
+  config.esm.encoder = args.get_string("encoder");
+  config.esm.ensemble_members =
+      static_cast<std::size_t>(args.get_int("ensemble-members"));
+  config.esm.n_initial = static_cast<int>(args.get_int("n-initial"));
+  config.esm.n_test = static_cast<int>(args.get_int("n-test"));
+  config.esm.n_bins = static_cast<int>(args.get_int("n-bins"));
+  config.esm.acc_threshold = args.get_double("acc-th");
+  config.esm.faults =
+      esm::parse_fault_profile(args.get_string("fault-profile"));
+  config.esm.retry.max_attempts = static_cast<int>(args.get_int("retries"));
+  config.esm.threads = static_cast<int>(args.get_int("threads"));
+  config.esm.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  config.device = args.get_string("device");
+  config.model_name = args.get_string("name");
+  config.manifest_dir = args.get_string("manifest-dir");
+  config.batch_size = static_cast<std::size_t>(args.get_int("batch-size"));
+
+  std::cout << "Pipeline: measure -> train '" << config.esm.surrogate
+            << "' -> gate (Acc_TH "
+            << esm::format_percent(config.esm.acc_threshold)
+            << ") -> publish '" << config.model_name << "' into "
+            << config.manifest_dir << "\n";
+  const esm::PipelineResult result = esm::run_pipeline(config);
+
+  std::cout << "Measured " << result.train_measured << " train / "
+            << result.test_measured << " test samples";
+  if (result.replayed_batches > 0) {
+    std::cout << " (" << result.replayed_batches
+              << " batch(es) replayed from journals)";
+  }
+  std::cout << ".\nOverall accuracy "
+            << esm::format_percent(result.eval.overall_accuracy)
+            << ", worst bin "
+            << esm::format_percent(result.eval.min_bin_accuracy) << ".\n";
+  if (!result.gate_passed) {
+    std::cout << "Gate FAILED: nothing was published (manifest untouched).\n";
+    return 2;
+  }
+  std::cout << "Published " << result.artifact_path << " [crc32 "
+            << result.artifact_crc32 << "] and updated "
+            << result.manifest_path << ".\n"
+            << "Serve it with: esm_serve " << result.manifest_path << "\n";
+  return result.replayed_batches > 0 ? 3 : 0;
+}
+
 /// Rewrites `subcommand [args...]` into plain flags the parser accepts:
 /// the subcommand selects the action, "-o" is shorthand for "--model", and
 /// a bare path positional becomes the --model value.
@@ -503,8 +566,8 @@ std::vector<const char*> normalize_args(int argc, char** argv,
 
 int main(int argc, char** argv) {
   esm::ArgParser args(
-      "esm_cli <train|predict|eval|search|measure>: train, query, score, "
-      "search, and measure with ESM surrogate artifacts.");
+      "esm_cli <train|predict|eval|search|measure|pipeline>: train, query, "
+      "score, search, measure, and publish ESM surrogate artifacts.");
   args.add_string("model", "/tmp/esm_model.esm", "surrogate artifact path");
   args.add_string("surrogate", "mlp",
                   "surrogate (train): mlp|lut|gbdt|ensemble");
@@ -553,6 +616,12 @@ int main(int argc, char** argv) {
                 "grammar as the serve protocol) and emit full-precision "
                 "CSV on stdout");
   args.add_int("threads", 0, "worker threads (measure); 0 = hardware");
+  args.add_string("name", "default",
+                  "model name to publish under (pipeline)");
+  args.add_string("manifest-dir", "/tmp/esm_fleet",
+                  "directory holding artifacts + the fleet manifest "
+                  "(pipeline)");
+  args.add_int("n-test", 200, "held-out gate set size (pipeline)");
   args.add_int("seed", 42, "seed");
 
   std::string subcommand;
@@ -569,9 +638,11 @@ int main(int argc, char** argv) {
     if (subcommand == "eval") return run_eval(args);
     if (subcommand == "search") return run_search(args);
     if (subcommand == "measure") return run_measure(args);
+    if (subcommand == "pipeline") return run_pipeline_cmd(args);
     std::fputs(args.usage().c_str(), stdout);
-    std::fputs("\nPick one of: train, predict, eval, search, measure.\n",
-               stdout);
+    std::fputs(
+        "\nPick one of: train, predict, eval, search, measure, pipeline.\n",
+        stdout);
     return 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

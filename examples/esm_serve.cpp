@@ -3,12 +3,17 @@
 // Server mode:
 //   esm_serve model.esm [--port N] [--port-file PATH] [--cache N]
 //             [--max-batch N] [--summary-s SEC] [--threads N]
-//   Binds 127.0.0.1:N (N = 0 lets the kernel pick; the chosen port is
-//   printed as "listening on 127.0.0.1:<port>" and written to --port-file
-//   when given), then serves the newline-delimited protocol of
-//   src/serve/protocol.hpp to any number of concurrent clients. SIGINT and
-//   SIGTERM (and the protocol's `shutdown` verb) drain in-flight requests
-//   before exit; a final stats summary goes to stderr.
+//   esm_serve --manifest fleet/manifest.esmf [...]
+//   Serves a single `.esm` artifact or a whole fleet manifest (`esm_cli
+//   pipeline` publishes these); the two are told apart by file content, so
+//   the positional form works for both. Binds 127.0.0.1:N (N = 0 lets the
+//   kernel pick; the chosen port is printed as "listening on
+//   127.0.0.1:<port>" and written to --port-file when given), then serves
+//   the newline-delimited protocol of src/serve/protocol.hpp — including
+//   model-routed requests like "predict rpi4 3,5,2,7" — to any number of
+//   concurrent clients. SIGINT and SIGTERM (and the protocol's `shutdown`
+//   verb) drain in-flight requests before exit; a final stats summary goes
+//   to stderr.
 //
 // Client mode:
 //   esm_serve --connect PORT [--host H]
@@ -127,15 +132,32 @@ int run_server(const esm::ArgParser& args) {
   if (threads > 0) esm::set_thread_count(threads);
 
   esm::serve::ServeConfig config;
-  config.artifact_path = args.get_string("model");
+  config.artifact_path = args.get_string("model").empty()
+                             ? args.get_string("manifest")
+                             : args.get_string("model");
   config.cache_capacity = static_cast<std::size_t>(args.get_int("cache"));
   config.max_batch = static_cast<std::size_t>(args.get_int("max-batch"));
   config.summary_period_s = args.get_double("summary-s");
   esm::serve::PredictionServer server(config);
-  const esm::serve::MetricsSnapshot boot = server.metrics();
-  std::cout << "serving " << boot.kind << " (" << boot.space << ", encoder "
-            << boot.encoder << ") from " << boot.artifact << " [crc32 "
-            << boot.artifact_crc32 << "]\n";
+  const std::shared_ptr<const esm::serve::ModelFleet> fleet = server.fleet();
+  if (fleet->from_manifest()) {
+    std::cout << "serving a fleet of " << fleet->models().size()
+              << " model(s) from " << fleet->source_path() << " [crc32 "
+              << fleet->manifest_crc32() << "]\n";
+    for (const esm::serve::FleetModel& m : fleet->models()) {
+      std::cout << "  " << m.name
+                << (m.name == fleet->default_model().name ? " (default)"
+                                                          : "")
+                << ": " << m.model->kind() << " (" << m.model->spec().name
+                << ", encoder " << m.model->encoder_key() << ") from "
+                << m.artifact_path << " [crc32 " << m.crc32_hex << "]\n";
+    }
+  } else {
+    const esm::serve::MetricsSnapshot boot = server.metrics();
+    std::cout << "serving " << boot.kind << " (" << boot.space
+              << ", encoder " << boot.encoder << ") from " << boot.artifact
+              << " [crc32 " << boot.artifact_crc32 << "]\n";
+  }
 
   const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   ESM_REQUIRE(listen_fd >= 0, "socket(): " << std::strerror(errno));
@@ -258,11 +280,14 @@ std::vector<const char*> normalize_args(int argc, char** argv,
 
 int main(int argc, char** argv) {
   esm::ArgParser args(
-      "esm_serve MODEL.esm: serve latency predictions over loopback TCP "
-      "(newline-delimited protocol: predict, predict_batch, info, stats, "
-      "reload, shutdown). With --connect PORT, run as a line client "
-      "instead.");
-  args.add_string("model", "", "surrogate artifact to serve");
+      "esm_serve MODEL.esm|MANIFEST.esmf: serve latency predictions over "
+      "loopback TCP (newline-delimited protocol: predict, predict_batch, "
+      "info, models, stats, reload, shutdown; requests may route by model "
+      "name). With --connect PORT, run as a line client instead.");
+  args.add_string("model", "", "surrogate artifact or fleet manifest to serve");
+  args.add_string("manifest", "",
+                  "fleet manifest to serve (same as passing it as MODEL; "
+                  "the file content decides)");
   args.add_int("port", 0, "TCP port to bind on 127.0.0.1 (0 = kernel picks)");
   args.add_string("port-file", "",
                   "write the bound port number to this file once listening");
@@ -283,8 +308,10 @@ int main(int argc, char** argv) {
   }
   try {
     if (args.get_int("connect") > 0) return run_client(args);
-    ESM_REQUIRE(!args.get_string("model").empty(),
-                "server mode needs a MODEL.esm path (or use --connect)");
+    ESM_REQUIRE(!args.get_string("model").empty() ||
+                    !args.get_string("manifest").empty(),
+                "server mode needs a MODEL.esm or --manifest path (or use "
+                "--connect)");
     return run_server(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -5,16 +5,25 @@
 #   scripts/ci.sh full    fast tier, then the remaining (slow) suites, then
 #                         a kill -9 resume smoke test of `esm_cli measure
 #                         --journal/--resume`, then a loopback smoke test of
-#                         the esm_serve server binary, then a scalar-fallback
-#                         build (-DESM_SIMD=off) running the linalg + encoding
-#                         + parallel + fastpath + serve suites (the portable
-#                         GEMM path must stay green and bit-identical), then
-#                         an ASan build running the linalg + surrogate + esm +
-#                         corruption-matrix suites, then a TSan build running
-#                         the linalg + fault + parallel + journal + serve
-#                         suites (journal writes sit on the ordered reduction
-#                         path of the thread pool; serve exercises sessions,
-#                         batcher, and cache concurrently)
+#                         the esm_serve server binary, then a fleet smoke
+#                         test (`esm_cli pipeline` publishing models into a
+#                         manifest, kill -9 mid-pipeline converging to
+#                         byte-identical artifacts, routed multi-model
+#                         serving with atomic reload and clean drain), then
+#                         a scalar-fallback build (-DESM_SIMD=off) running
+#                         the linalg + encoding + parallel + fastpath +
+#                         serve suites (the portable GEMM path must stay
+#                         green and bit-identical), then an FMA build
+#                         (-DESM_FMA=ON) running the linalg + fastpath
+#                         suites (exact-equality pins switch to tight
+#                         relative tolerances via gemm_fma_enabled()), then
+#                         an ASan build running the linalg + surrogate +
+#                         esm + corruption-matrix suites, then a TSan build
+#                         running the linalg + fault + parallel + journal +
+#                         serve + fleet suites (journal writes sit on the
+#                         ordered reduction path of the thread pool; serve
+#                         exercises sessions, batcher, routing, and cache
+#                         concurrently)
 #
 # Thread-count invariance is covered inside the suites themselves
 # (parallel_test pins 1-thread vs 8-thread bit-identity), so CI only needs
@@ -85,6 +94,64 @@ wait "$SERVE_PID" \
   || { echo "esm_serve exited non-zero after shutdown"; exit 1; }
 echo "loopback serve smoke test passed"
 
+echo "== fleet pipeline + routed serving smoke test =="
+# The full fleet story end to end: pipeline-publish two models into one
+# manifest, kill -9 a pipeline mid-run and converge to byte-identical
+# published bytes, serve the manifest, route by model name, atomically
+# reload to a three-model fleet, and drain cleanly.
+FLEET_DIR="$SMOKE_DIR/fleet"
+PIPELINE="build/examples/esm_cli pipeline --surrogate gbdt --n-initial 32
+  --n-test 16 --acc-th 0.3 --batch-size 8 --manifest-dir $FLEET_DIR"
+$PIPELINE --name edge --device rpi4 >/dev/null
+$PIPELINE --name cloud --device rtx4090 >/dev/null
+
+# kill -9 mid-pipeline: the rerun resumes from the stage journals (exit 3)
+# or restarts from scratch (exit 0) — either way the published manifest and
+# artifact must be byte-identical to an uninterrupted run's.
+KILL_PIPE="build/examples/esm_cli pipeline --surrogate gbdt --n-initial 48
+  --n-test 16 --acc-th 0.3 --batch-size 4 --device rpi4 --name edge"
+$KILL_PIPE --manifest-dir "$SMOKE_DIR/fleet_ref" >/dev/null
+timeout -s KILL 0.05 $KILL_PIPE --manifest-dir "$SMOKE_DIR/fleet_kill" \
+  >/dev/null 2>&1 || true
+$KILL_PIPE --manifest-dir "$SMOKE_DIR/fleet_kill" >/dev/null \
+  || [ $? -eq 3 ]
+cmp "$SMOKE_DIR/fleet_ref/manifest.esmf" "$SMOKE_DIR/fleet_kill/manifest.esmf" \
+  || { echo "fleet smoke FAILED: resumed pipeline manifest differs"; exit 1; }
+cmp "$SMOKE_DIR/fleet_ref/edge.esm" "$SMOKE_DIR/fleet_kill/edge.esm" \
+  || { echo "fleet smoke FAILED: resumed pipeline artifact differs"; exit 1; }
+echo "killed pipeline converged to byte-identical published bytes"
+
+build/examples/esm_serve --manifest "$FLEET_DIR/manifest.esmf" --port 0 \
+  --port-file "$FLEET_DIR/port" --summary-s 0 >/dev/null 2>&1 &
+FLEET_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$FLEET_DIR/port" ] && break
+  sleep 0.1
+done
+[ -s "$FLEET_DIR/port" ] || { echo "fleet esm_serve never published its port"; exit 1; }
+FLEET_PORT="$(cat "$FLEET_DIR/port")"
+printf 'predict edge 3,5,2,7\npredict cloud 3,5,2,7\npredict 3,5,2,7\nmodels\nstats\n' \
+  | build/examples/esm_serve --connect "$FLEET_PORT" > "$SMOKE_DIR/fleet1.out" \
+  || { echo "fleet client reported an error"; exit 1; }
+[ "$(grep -c '^esm1 ok predict ' "$SMOKE_DIR/fleet1.out")" = 3 ] \
+  || { echo "fleet routed predicts failed"; cat "$SMOKE_DIR/fleet1.out"; exit 1; }
+grep -q "^esm1 ok models edge cloud$" "$SMOKE_DIR/fleet1.out" \
+  || { echo "fleet models verb failed"; cat "$SMOKE_DIR/fleet1.out"; exit 1; }
+grep -q "model\.edge\.requests=2" "$SMOKE_DIR/fleet1.out" \
+  || { echo "fleet per-model stats failed"; cat "$SMOKE_DIR/fleet1.out"; exit 1; }
+# Publish a third model, reload the live server onto it, route to it, drain.
+$PIPELINE --name tpu --device threadripper >/dev/null
+printf 'reload %s\npredict tpu 3,5,2,7\nshutdown\n' "$FLEET_DIR/manifest.esmf" \
+  | build/examples/esm_serve --connect "$FLEET_PORT" > "$SMOKE_DIR/fleet2.out" \
+  || { echo "fleet reload client reported an error"; exit 1; }
+grep -q "^esm1 ok reload models=3 default=edge" "$SMOKE_DIR/fleet2.out" \
+  || { echo "fleet reload failed"; cat "$SMOKE_DIR/fleet2.out"; exit 1; }
+grep -q "^esm1 ok predict " "$SMOKE_DIR/fleet2.out" \
+  || { echo "fleet post-reload predict failed"; cat "$SMOKE_DIR/fleet2.out"; exit 1; }
+wait "$FLEET_PID" \
+  || { echo "fleet esm_serve exited non-zero after shutdown"; exit 1; }
+echo "fleet smoke test passed"
+
 echo "== scalar tier (ESM_SIMD=off: portable GEMM path) =="
 # The vector microkernel and the scalar fallback must agree bit-for-bit;
 # run the math-heavy suites against the fallback so it can never rot.
@@ -98,6 +165,15 @@ cmake --build build-scalar -j "$JOBS" \
 ctest --test-dir build-scalar --output-on-failure \
   -R '^(linalg_test|encoding_test|parallel_test|fastpath_test|serve_test)$'
 
+echo "== fma tier (ESM_FMA=ON: contracted microkernel) =="
+# FMA contraction changes mul+add rounding, so the exact-equality pins in
+# linalg_test and fastpath_test switch to tight relative tolerances (they
+# branch on gemm_fma_enabled()); the suites must still pass end to end.
+cmake -B build-fma -S . -DCMAKE_BUILD_TYPE=Release -DESM_FMA=ON >/dev/null
+cmake --build build-fma -j "$JOBS" --target linalg_test fastpath_test
+ctest --test-dir build-fma --output-on-failure \
+  -R '^(linalg_test|fastpath_test)$'
+
 echo "== asan tier (linalg + surrogate + esm + corruption suites) =="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DESM_SANITIZE=address >/dev/null
@@ -107,12 +183,13 @@ cmake --build build-asan -j "$JOBS" \
 ctest --test-dir build-asan --output-on-failure \
   -R '^(linalg_test|surrogate_test|surrogate_registry_test|esm_test|corruption_test)$'
 
-echo "== tsan tier (linalg + fault + parallel + journal + serve suites) =="
+echo "== tsan tier (linalg + fault + parallel + journal + serve + fleet) =="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DESM_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
-  --target linalg_test fault_test parallel_test journal_test serve_test
+  --target linalg_test fault_test parallel_test journal_test serve_test \
+  fleet_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R '^(linalg_test|fault_test|parallel_test|journal_test|serve_test)$'
+  -R '^(linalg_test|fault_test|parallel_test|journal_test|serve_test|fleet_test)$'
 
 echo "CI full tier passed."

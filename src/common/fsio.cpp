@@ -1,0 +1,110 @@
+#include "common/fsio.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace esm {
+namespace {
+
+/// Directory part of `path` ("." when the path has no slash), used to
+/// fsync the directory after the rename.
+std::string dir_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+void fsync_fd_or_throw(int fd, const std::string& path) {
+  ESM_REQUIRE(::fsync(fd) == 0,
+              "fsync(" << path << "): " << std::strerror(errno));
+}
+
+}  // namespace
+
+std::string read_file(const std::string& path, const std::string& what) {
+  std::ifstream in(path, std::ios::binary);
+  ESM_REQUIRE(in.good(), "cannot open " << what << ": " << path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  ESM_REQUIRE(!in.bad(), "failed reading " << what << ": " << path);
+  return buffer.str();
+}
+
+void write_file_atomic(const std::string& path, std::string_view contents) {
+  // The temp file lives in the destination directory so the final rename
+  // never crosses a filesystem boundary (rename is only atomic within one).
+  const std::string temp =
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ESM_REQUIRE(fd >= 0, "cannot create " << temp << ": "
+                                        << std::strerror(errno));
+  std::size_t written = 0;
+  bool ok = true;
+  while (ok && written < contents.size()) {
+    const ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (!ok || ::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    std::remove(temp.c_str());
+    ESM_REQUIRE(false, "failed writing " << temp << ": "
+                                         << std::strerror(saved));
+  }
+  ::close(fd);
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    std::remove(temp.c_str());
+    ESM_REQUIRE(false, "rename(" << temp << ", " << path
+                                 << "): " << std::strerror(saved));
+  }
+  // Durability of the rename itself: fsync the containing directory.
+  const std::string dir = dir_of(path);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    fsync_fd_or_throw(dir_fd, dir);
+    ::close(dir_fd);
+  }
+}
+
+bool path_exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+void make_dirs(const std::string& path) {
+  if (path.empty()) return;
+  // Create every prefix component in order; EEXIST (racing creators, or a
+  // component that is already a directory) is fine.
+  std::size_t from = path.front() == '/' ? 1 : 0;
+  for (;;) {
+    const std::size_t slash = path.find('/', from);
+    const std::string prefix =
+        slash == std::string::npos ? path : path.substr(0, slash);
+    if (!prefix.empty() && ::mkdir(prefix.c_str(), 0755) != 0 &&
+        errno != EEXIST) {
+      ESM_REQUIRE(false, "mkdir(" << prefix
+                                  << "): " << std::strerror(errno));
+    }
+    if (slash == std::string::npos) break;
+    from = slash + 1;
+  }
+}
+
+}  // namespace esm

@@ -1,0 +1,35 @@
+// Durable file I/O primitives for publish-style writes.
+//
+// Both ends of the fleet pipeline — artifact publication and manifest
+// updates — need the same guarantee the campaign journal gives batches:
+// a reader (or a process resuming after kill -9) sees either the complete
+// old file or the complete new file, never a torn mix. write_file_atomic
+// provides that with the classic write-temp → fsync → rename → fsync-dir
+// sequence; rename(2) on a POSIX filesystem replaces the destination
+// atomically.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace esm {
+
+/// Reads the whole file into a string; throws esm::ConfigError when the
+/// file cannot be opened or read. `what` names the file's role in errors
+/// ("artifact", "manifest", ...).
+std::string read_file(const std::string& path, const std::string& what);
+
+/// Atomically replaces `path` with `contents`: writes `path`.tmp.<pid> in
+/// the same directory, fsyncs it, renames it over `path`, and fsyncs the
+/// directory so the rename itself is durable. On any failure the temp file
+/// is removed and esm::ConfigError is thrown; `path` is never left torn.
+void write_file_atomic(const std::string& path, std::string_view contents);
+
+/// True when `path` exists (any file type).
+bool path_exists(const std::string& path);
+
+/// Creates `path` and any missing parent directories (mkdir -p); throws
+/// esm::ConfigError when a component cannot be created.
+void make_dirs(const std::string& path);
+
+}  // namespace esm

@@ -52,22 +52,55 @@ double LatencyHistogram::percentile_us(double p) const {
   return bucket_upper_bound_us(kBuckets - 1);
 }
 
-ServerMetrics::ServerMetrics() : start_(std::chrono::steady_clock::now()) {}
+ModelCounters ModelMetrics::snapshot() const {
+  ModelCounters c;
+  c.requests = requests_.load(std::memory_order_relaxed);
+  c.hits = hits_.load(std::memory_order_relaxed);
+  c.misses = misses_.load(std::memory_order_relaxed);
+  c.errors = errors_.load(std::memory_order_relaxed);
+  c.archs = archs_.load(std::memory_order_relaxed);
+  c.arch_hits = arch_hits_.load(std::memory_order_relaxed);
+  c.arch_misses = arch_misses_.load(std::memory_order_relaxed);
+  return c;
+}
 
-void ServerMetrics::count_predict_line(bool all_from_cache) {
+ServerMetrics::ServerMetrics() : start_(std::chrono::steady_clock::now()) {
+  // Eagerly create the routing-failure section so every predict-line path
+  // has a non-null section before the first request arrives.
+  model_section(kUnroutedSection);
+}
+
+ModelMetrics* ServerMetrics::model_section(const std::string& name) {
+  std::lock_guard<std::mutex> lock(sections_mutex_);
+  auto& slot = sections_[name];
+  if (!slot) slot = std::make_unique<ModelMetrics>();
+  return slot.get();
+}
+
+void ServerMetrics::count_predict_line(bool all_from_cache,
+                                       ModelMetrics* model) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   (all_from_cache ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+  model->requests_.fetch_add(1, std::memory_order_relaxed);
+  (all_from_cache ? model->hits_ : model->misses_)
+      .fetch_add(1, std::memory_order_relaxed);
 }
 
-void ServerMetrics::count_predict_error() {
+void ServerMetrics::count_predict_error(ModelMetrics* model) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   errors_.fetch_add(1, std::memory_order_relaxed);
+  model->requests_.fetch_add(1, std::memory_order_relaxed);
+  model->errors_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void ServerMetrics::count_archs(std::uint64_t hits, std::uint64_t misses) {
+void ServerMetrics::count_archs(std::uint64_t hits, std::uint64_t misses,
+                                ModelMetrics* model) {
   archs_.fetch_add(hits + misses, std::memory_order_relaxed);
   arch_hits_.fetch_add(hits, std::memory_order_relaxed);
   arch_misses_.fetch_add(misses, std::memory_order_relaxed);
+  model->archs_.fetch_add(hits + misses, std::memory_order_relaxed);
+  model->arch_hits_.fetch_add(hits, std::memory_order_relaxed);
+  model->arch_misses_.fetch_add(misses, std::memory_order_relaxed);
 }
 
 void ServerMetrics::count_control_line(bool error) {
@@ -133,6 +166,13 @@ MetricsSnapshot ServerMetrics::snapshot() const {
     snap.encoder = encoder_;
     snap.space = space_;
   }
+  {
+    std::lock_guard<std::mutex> lock(sections_mutex_);
+    snap.per_model.reserve(sections_.size());
+    for (const auto& [name, section] : sections_) {
+      snap.per_model.emplace_back(name, section->snapshot());
+    }
+  }
   return snap;
 }
 
@@ -152,6 +192,14 @@ std::string ServerMetrics::stats_payload(const MetricsSnapshot& snap) {
      << " uptime_s=" << format_double(snap.uptime_s, 3)
      << " kind=" << snap.kind << " artifact_crc32=" << snap.artifact_crc32
      << " artifact=" << snap.artifact;
+  for (const auto& [name, c] : snap.per_model) {
+    os << " model." << name << ".requests=" << c.requests << " model." << name
+       << ".hits=" << c.hits << " model." << name << ".misses=" << c.misses
+       << " model." << name << ".errors=" << c.errors << " model." << name
+       << ".archs=" << c.archs << " model." << name
+       << ".arch_hits=" << c.arch_hits << " model." << name
+       << ".arch_misses=" << c.arch_misses;
+  }
   return os.str();
 }
 

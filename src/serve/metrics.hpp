@@ -1,5 +1,6 @@
 // Live serving metrics: lock-free counters, a log-bucketed service-latency
-// histogram with p50/p95/p99, uptime, and the loaded-artifact identity.
+// histogram with p50/p95/p99, uptime, the served-fleet identity, and a
+// per-model counter section for every model the fleet has ever served.
 // Surfaced through the protocol's `stats` verb and the server's periodic
 // stderr summary.
 //
@@ -13,14 +14,26 @@
 // batch, so batched_archs == arch_misses. Control verbs (info, stats,
 // reload, shutdown, unknown) are tallied separately in control_requests /
 // control_errors and never disturb the prediction identity.
+//
+// Fleet extension of the contract: every prediction-line increment is
+// attributed to exactly one per-model section at the same time — the model
+// the request routed to, or the reserved "_unrouted" section when routing
+// itself failed (unknown model name) — so each fleet-wide total equals the
+// sum of that counter over all per-model sections, exactly. Sections are
+// never dropped (a model removed by reload keeps its section), otherwise
+// the sums would stop reconciling mid-flight.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace esm::serve {
 
@@ -42,6 +55,40 @@ class LatencyHistogram {
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
 };
 
+/// Reserved per-model section for requests whose routing failed before a
+/// model could be identified (unknown model name).
+inline constexpr const char* kUnroutedSection = "_unrouted";
+
+/// Snapshot of one model's prediction counters.
+struct ModelCounters {
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t archs = 0;
+  std::uint64_t arch_hits = 0;
+  std::uint64_t arch_misses = 0;
+};
+
+/// Live per-model counters. Owned by ServerMetrics for the process
+/// lifetime; FleetModel handlers hold a stable pointer so the hot path
+/// records without any name lookup.
+class ModelMetrics {
+ public:
+  ModelCounters snapshot() const;
+
+ private:
+  friend class ServerMetrics;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> archs_{0};
+  std::atomic<std::uint64_t> arch_hits_{0};
+  std::atomic<std::uint64_t> arch_misses_{0};
+};
+
 /// One coherent read of every counter plus derived fields.
 struct MetricsSnapshot {
   std::uint64_t requests = 0;  ///< predict + predict_batch lines
@@ -61,11 +108,15 @@ struct MetricsSnapshot {
   double p95_us = 0.0;
   double p99_us = 0.0;
   double uptime_s = 0.0;
-  std::string artifact;  ///< path of the served artifact
+  std::string artifact;  ///< path of the served artifact or manifest
   std::string artifact_crc32;
   std::string kind;
   std::string encoder;
   std::string space;
+  /// Per-model sections, sorted by name; includes "_unrouted" and models
+  /// no longer in the fleet. Summing any counter over sections yields the
+  /// matching fleet-wide total exactly.
+  std::vector<std::pair<std::string, ModelCounters>> per_model;
 };
 
 /// Thread-safe metrics sink owned by the server; sessions and the batcher
@@ -74,13 +125,23 @@ class ServerMetrics {
  public:
   ServerMetrics();
 
+  /// The per-model section for `name`, created on first use; the returned
+  /// pointer stays valid for the metrics object's lifetime. Sections are
+  /// never removed, so summed per-model counters always reconcile with the
+  /// fleet-wide totals.
+  ModelMetrics* model_section(const std::string& name);
+
   /// Classifies one predict/predict_batch line; exactly one of hit, miss,
-  /// or (via count_predict_error) error per line.
-  void count_predict_line(bool all_from_cache);
-  void count_predict_error();
+  /// or (via count_predict_error) error per line. `model` attributes the
+  /// same increment to a per-model section (never null — routing failures
+  /// use the "_unrouted" section), keeping totals and section sums equal
+  /// by construction.
+  void count_predict_line(bool all_from_cache, ModelMetrics* model);
+  void count_predict_error(ModelMetrics* model);
 
   /// Per-architecture accounting inside prediction lines.
-  void count_archs(std::uint64_t hits, std::uint64_t misses);
+  void count_archs(std::uint64_t hits, std::uint64_t misses,
+                   ModelMetrics* model);
 
   /// Classifies one control line (info/stats/reload/shutdown/unknown).
   void count_control_line(bool error);
@@ -129,6 +190,11 @@ class ServerMetrics {
   std::string kind_;
   std::string encoder_;
   std::string space_;
+
+  /// Name -> live section. unique_ptr keeps section addresses stable while
+  /// the map grows; the mutex guards only lookup/insert, never recording.
+  mutable std::mutex sections_mutex_;
+  std::map<std::string, std::unique_ptr<ModelMetrics>> sections_;
 };
 
 }  // namespace esm::serve

@@ -100,6 +100,25 @@ ParsedRequest split_request(const std::string& line) {
   return request;
 }
 
+RoutedPayload split_model_key(const std::string& payload) {
+  RoutedPayload routed;
+  routed.rest = payload;
+  if (payload.empty()) return routed;
+  const char first = payload.front();
+  const bool keyed = (first >= 'A' && first <= 'Z') ||
+                     (first >= 'a' && first <= 'z') || first == '_';
+  if (!keyed) return routed;
+  const std::size_t space = payload.find(' ');
+  if (space == std::string::npos) {
+    routed.model = payload;
+    routed.rest.clear();
+  } else {
+    routed.model = payload.substr(0, space);
+    routed.rest = payload.substr(space + 1);
+  }
+  return routed;
+}
+
 std::string format_ok(const std::string& verb, const std::string& payload) {
   std::string line = std::string(kResponsePrefix) + " ok " + verb;
   if (!payload.empty()) line += " " + payload;
@@ -277,9 +296,22 @@ double ServeClient::predict(const std::string& arch_spec) {
   return std::strtod(response.payload.c_str(), nullptr);
 }
 
+double ServeClient::predict(const std::string& model,
+                            const std::string& arch_spec) {
+  const ParsedResponse response =
+      expect_ok("predict " + model + " " + arch_spec);
+  return std::strtod(response.payload.c_str(), nullptr);
+}
+
 std::vector<double> ServeClient::predict_batch(
     const std::vector<std::string>& specs) {
+  return predict_batch("", specs);
+}
+
+std::vector<double> ServeClient::predict_batch(
+    const std::string& model, const std::vector<std::string>& specs) {
   std::string payload;
+  if (!model.empty()) payload = model + " ";
   for (std::size_t i = 0; i < specs.size(); ++i) {
     if (i > 0) payload += ';';
     payload += specs[i];
@@ -302,6 +334,20 @@ std::vector<double> ServeClient::predict_batch(
 
 std::map<std::string, std::string> ServeClient::info() {
   return parse_kv_payload(expect_ok("info").payload);
+}
+
+std::map<std::string, std::string> ServeClient::info(
+    const std::string& model) {
+  return parse_kv_payload(expect_ok("info " + model).payload);
+}
+
+std::vector<std::string> ServeClient::models() {
+  const ParsedResponse response = expect_ok("models");
+  std::vector<std::string> names;
+  std::istringstream tokens(response.payload);
+  std::string name;
+  while (tokens >> name) names.push_back(name);
+  return names;
 }
 
 std::map<std::string, std::string> ServeClient::stats() {

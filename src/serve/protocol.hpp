@@ -4,12 +4,21 @@
 // architecture-request parser, and a small typed client.
 //
 // Request grammar (one line per request, no version prefix):
-//   predict <arch>            price one architecture
-//   predict_batch <arch>(;<arch>)*   price several in one request
-//   info                      loaded-artifact identity
+//   predict [<model>] <arch>  price one architecture
+//   predict_batch [<model>] <arch>(;<arch>)*   price several in one request
+//   info [<model>]            loaded-model identity
+//   models                    list the fleet's model names
 //   stats                     live counters + latency percentiles
-//   reload <path>             hot-swap the served artifact
+//   reload <path>             hot-swap the served fleet (manifest or artifact)
 //   shutdown                  drain in-flight requests, then stop
+//
+// <model> is an optional routing key naming a fleet model. The grammar
+// disambiguates without quoting: model names start with a letter
+// ([A-Za-z][A-Za-z0-9_.-]*) while an <arch>'s first token always starts
+// with a digit or sign, so "predict rpi4 3,5,2,7" routes to model "rpi4"
+// and "predict 3,5,2,7" routes to the fleet's default model — the PR-5
+// keyless protocol stays valid verbatim. A key naming no loaded model
+// answers err unknown_model.
 //
 // <arch> is a comma-separated per-unit depth list ("3,5,2,7"), optionally
 // refined per unit with block features: "<depth>:k<kernel>" or
@@ -46,6 +55,7 @@ inline constexpr const char* kErrUnknownVerb = "unknown_verb";
 inline constexpr const char* kErrOversized = "oversized";
 inline constexpr const char* kErrReloadFailed = "reload_failed";
 inline constexpr const char* kErrServerError = "server_error";
+inline constexpr const char* kErrUnknownModel = "unknown_model";
 
 /// Verb + rest-of-line payload of a request ("" when absent). The verb of
 /// an empty line is "".
@@ -56,6 +66,18 @@ struct ParsedRequest {
 
 /// Splits a raw request line at the first space; trims a trailing '\r'.
 ParsedRequest split_request(const std::string& line);
+
+/// A request payload split into its optional routing key and the rest.
+struct RoutedPayload {
+  std::string model;  ///< "" when the request is keyless
+  std::string rest;   ///< the payload with the key (and one space) removed
+};
+
+/// Splits the optional leading model key off a predict/predict_batch/info
+/// payload: if the first space-separated token starts with a letter it is
+/// the routing key, otherwise the whole payload is returned as `rest`.
+/// Leading whitespace never turns an arch into a key (" 3,5" stays keyless).
+RoutedPayload split_model_key(const std::string& payload);
 
 /// Formats "esm1 ok <verb> <payload>"; a trailing payload space is omitted
 /// when the payload is empty.
@@ -142,13 +164,23 @@ class ServeClient {
   ParsedResponse call(const std::string& request_line);
 
   /// predict; throws esm::ConfigError carrying code + detail on err replies.
+  /// The keyless form routes to the fleet's default model; the keyed form
+  /// routes to the named model.
   double predict(const std::string& arch_spec);
+  double predict(const std::string& model, const std::string& arch_spec);
 
-  /// predict_batch over pre-rendered arch specs.
+  /// predict_batch over pre-rendered arch specs, keyless or routed.
   std::vector<double> predict_batch(const std::vector<std::string>& specs);
+  std::vector<double> predict_batch(const std::string& model,
+                                    const std::vector<std::string>& specs);
 
   std::map<std::string, std::string> info();
+  std::map<std::string, std::string> info(const std::string& model);
   std::map<std::string, std::string> stats();
+
+  /// The fleet's model names, in manifest order (the `models` verb).
+  std::vector<std::string> models();
+
   void reload(const std::string& artifact_path);
   void shutdown();
 

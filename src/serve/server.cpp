@@ -2,12 +2,12 @@
 
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 #include <utility>
 
 #include "common/checksum.hpp"
 #include "common/error.hpp"
+#include "common/fsio.hpp"
 #include "surrogate/registry.hpp"
 
 namespace esm::serve {
@@ -23,11 +23,10 @@ double elapsed_us(Clock::time_point since) {
 }  // namespace
 
 PredictionServer::PredictionServer(ServeConfig config)
-    : config_(std::move(config)),
-      cache_(config_.cache_capacity, config_.cache_shards) {
-  // Throws before any thread starts when the artifact is unreadable, so a
+    : config_(std::move(config)) {
+  // Throws before any thread starts when the fleet cannot be loaded, so a
   // failed construction needs no teardown.
-  install_artifact(config_.artifact_path);
+  install_source(config_.artifact_path);
   batcher_thread_ = std::thread([this] { batcher_loop(); });
   if (config_.summary_period_s > 0.0) {
     summary_thread_ = std::thread([this] { summary_loop(); });
@@ -39,39 +38,51 @@ PredictionServer::~PredictionServer() {
   wait();
 }
 
-void PredictionServer::install_artifact(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  ESM_REQUIRE(in.good(), "cannot open artifact: " << path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const std::string bytes = buffer.str();
-  // One read serves both integrity identity and parsing: the CRC32 below is
-  // the artifact's identity in info/stats, and load_surrogate parses the
-  // same buffer instead of re-reading the file.
-  std::shared_ptr<const TrainableSurrogate> model =
-      load_surrogate(path, bytes);
-  const std::string kind = model->kind();
-  const std::string encoder = model->encoder_key();
-  const std::string space = model->spec().name;
-  {
-    std::lock_guard<std::mutex> lock(model_mutex_);
-    model_ = std::move(model);
-    ++model_generation_;
+void PredictionServer::install_source(const std::string& path) {
+  // Serialized: concurrent reloads must not interleave their generation
+  // assignment or race the carry-over inspection of the previous fleet.
+  std::lock_guard<std::mutex> install_lock(install_mutex_);
+  std::shared_ptr<const ModelFleet> previous = current_fleet();
+
+  // One read serves both routing and parsing: the content decides whether
+  // this is a fleet manifest or a bare artifact, and single-artifact loads
+  // parse the same buffer instead of re-reading the file.
+  const std::string bytes = read_file(path, "artifact or fleet manifest");
+  std::shared_ptr<const ModelFleet> next;
+  if (FleetManifest::looks_like_manifest(bytes)) {
+    next = ModelFleet::load(path, previous.get(), generation_counter_,
+                            config_.cache_capacity, config_.cache_shards);
+  } else {
+    next = ModelFleet::single("default", path, crc32_hex(crc32(bytes)),
+                              load_surrogate(path, bytes),
+                              generation_counter_, config_.cache_capacity,
+                              config_.cache_shards);
   }
-  // Clearing after the swap: entries written for a superseded generation
-  // are unreachable anyway (keys carry the generation), this just frees
-  // them eagerly.
-  cache_.clear();
-  metrics_.set_artifact(path, crc32_hex(crc32(bytes)), kind, encoder, space);
+  {
+    std::lock_guard<std::mutex> lock(fleet_mutex_);
+    fleet_ = next;
+  }
+  // The stats identity shows the served source; kind/encoder/space are the
+  // default model's (the one keyless requests hit).
+  const FleetModel& def = next->default_model();
+  metrics_.set_artifact(path,
+                        next->from_manifest() ? next->manifest_crc32()
+                                              : def.crc32_hex,
+                        def.model->kind(), def.model->encoder_key(),
+                        def.model->spec().name);
 }
 
-PredictionServer::ModelRef PredictionServer::current_model() const {
-  std::lock_guard<std::mutex> lock(model_mutex_);
-  return ModelRef{model_, model_generation_};
+std::shared_ptr<const ModelFleet> PredictionServer::current_fleet() const {
+  std::lock_guard<std::mutex> lock(fleet_mutex_);
+  return fleet_;
+}
+
+std::shared_ptr<const ModelFleet> PredictionServer::fleet() const {
+  return current_fleet();
 }
 
 std::shared_ptr<const TrainableSurrogate> PredictionServer::model() const {
-  return current_model().model;
+  return current_fleet()->default_model().model;
 }
 
 void PredictionServer::serve(std::shared_ptr<Stream> stream) {
@@ -114,8 +125,10 @@ std::string PredictionServer::handle_line(const std::string& line,
       request.verb == "predict" || request.verb == "predict_batch";
 
   if (line.size() > config_.max_line_bytes) {
-    is_predict ? metrics_.count_predict_error()
-               : metrics_.count_control_line(true);
+    is_predict
+        ? metrics_.count_predict_error(metrics_.model_section(
+              kUnroutedSection))
+        : metrics_.count_control_line(true);
     return format_error(kErrOversized,
                         "request of " + std::to_string(line.size()) +
                             " bytes exceeds the " +
@@ -125,20 +138,24 @@ std::string PredictionServer::handle_line(const std::string& line,
 
   if (request.verb == "predict") {
     if (request.payload.empty()) {
-      metrics_.count_predict_error();
+      metrics_.count_predict_error(metrics_.model_section(kUnroutedSection));
       return format_error(kErrBadRequest, "predict needs an architecture");
     }
     return handle_predict(request.payload);
   }
   if (request.verb == "predict_batch") {
     if (request.payload.empty()) {
-      metrics_.count_predict_error();
+      metrics_.count_predict_error(metrics_.model_section(kUnroutedSection));
       return format_error(kErrBadRequest,
                           "predict_batch needs ';'-separated architectures");
     }
     return handle_predict_batch(request.payload);
   }
-  if (request.verb == "info" || request.verb == "stats" ||
+  if (request.verb == "info") {
+    // `info` takes an optional model key; validation happens inside.
+    return handle_info(request.payload);
+  }
+  if (request.verb == "models" || request.verb == "stats" ||
       request.verb == "shutdown") {
     if (!request.payload.empty()) {
       metrics_.count_control_line(true);
@@ -146,7 +163,7 @@ std::string PredictionServer::handle_line(const std::string& line,
                           request.verb + " takes no payload");
     }
     metrics_.count_control_line(false);
-    if (request.verb == "info") return handle_info();
+    if (request.verb == "models") return handle_models();
     if (request.verb == "stats") return handle_stats();
     shutdown_requested = true;
     return format_ok("shutdown", "draining");
@@ -154,7 +171,8 @@ std::string PredictionServer::handle_line(const std::string& line,
   if (request.verb == "reload") {
     if (request.payload.empty()) {
       metrics_.count_control_line(true);
-      return format_error(kErrBadRequest, "reload needs an artifact path");
+      return format_error(kErrBadRequest,
+                          "reload needs a manifest or artifact path");
     }
     return handle_reload(request.payload);
   }
@@ -164,51 +182,74 @@ std::string PredictionServer::handle_line(const std::string& line,
   }
   return format_error(kErrUnknownVerb,
                       "unknown verb '" + request.verb +
-                          "' (predict, predict_batch, info, stats, reload, "
-                          "shutdown)");
+                          "' (predict, predict_batch, info, models, stats, "
+                          "reload, shutdown)");
 }
 
 std::string PredictionServer::handle_predict(const std::string& payload) {
-  const ModelRef ref = current_model();
+  const RoutedPayload routed = split_model_key(payload);
+  const std::shared_ptr<const ModelFleet> fleet = current_fleet();
+  const FleetModel* model = routed.model.empty()
+                                ? &fleet->default_model()
+                                : fleet->find(routed.model);
+  if (model == nullptr) {
+    metrics_.count_predict_error(metrics_.model_section(kUnroutedSection));
+    return format_error(kErrUnknownModel,
+                        "unknown model '" + routed.model +
+                            "' (see the models verb)");
+  }
+  ModelMetrics* section = metrics_.model_section(model->name);
   ArchConfig arch;
   try {
-    arch = parse_arch_request(ref.model->spec(), payload);
+    arch = parse_arch_request(model->model->spec(), routed.rest);
   } catch (const ConfigError& e) {
-    metrics_.count_predict_error();
+    metrics_.count_predict_error(section);
     return format_error(kErrBadArch, e.what());
   }
   const std::string key =
-      std::to_string(ref.generation) + '|' + arch.to_string();
-  if (const std::optional<double> hit = cache_.get(key)) {
-    metrics_.count_archs(1, 0);
-    metrics_.count_predict_line(true);
+      std::to_string(model->generation) + '|' + arch.to_string();
+  if (const std::optional<double> hit = model->cache->get(key)) {
+    metrics_.count_archs(1, 0, section);
+    metrics_.count_predict_line(true, section);
     return format_ok("predict", format_latency(*hit));
   }
-  std::future<double> pending = enqueue(std::move(arch));
-  metrics_.count_archs(0, 1);
+  std::future<double> pending =
+      enqueue(std::move(arch), std::shared_ptr<const FleetModel>(fleet, model));
+  metrics_.count_archs(0, 1, section);
   try {
     const double value = pending.get();
-    cache_.put(key, value);
-    metrics_.count_predict_line(false);
+    model->cache->put(key, value);
+    metrics_.count_predict_line(false, section);
     return format_ok("predict", format_latency(value));
   } catch (const ConfigError& e) {
-    metrics_.count_predict_error();
+    metrics_.count_predict_error(section);
     return format_error(kErrBadArch, e.what());
   } catch (const std::exception& e) {
-    metrics_.count_predict_error();
+    metrics_.count_predict_error(section);
     return format_error(kErrServerError, e.what());
   }
 }
 
 std::string PredictionServer::handle_predict_batch(
     const std::string& payload) {
-  const ModelRef ref = current_model();
+  const RoutedPayload routed = split_model_key(payload);
+  const std::shared_ptr<const ModelFleet> fleet = current_fleet();
+  const FleetModel* model = routed.model.empty()
+                                ? &fleet->default_model()
+                                : fleet->find(routed.model);
+  if (model == nullptr) {
+    metrics_.count_predict_error(metrics_.model_section(kUnroutedSection));
+    return format_error(kErrUnknownModel,
+                        "unknown model '" + routed.model +
+                            "' (see the models verb)");
+  }
+  ModelMetrics* section = metrics_.model_section(model->name);
   std::vector<ArchConfig> archs;
   try {
-    archs = parse_arch_batch(ref.model->spec(), payload,
+    archs = parse_arch_batch(model->model->spec(), routed.rest,
                              config_.max_batch_archs);
   } catch (const ConfigError& e) {
-    metrics_.count_predict_error();
+    metrics_.count_predict_error(section);
     return format_error(kErrBadArch, e.what());
   }
 
@@ -222,28 +263,31 @@ std::string PredictionServer::handle_predict_batch(
   std::uint64_t hit_count = 0;
   for (std::size_t i = 0; i < archs.size(); ++i) {
     std::string key =
-        std::to_string(ref.generation) + '|' + archs[i].to_string();
-    if (const std::optional<double> hit = cache_.get(key)) {
+        std::to_string(model->generation) + '|' + archs[i].to_string();
+    if (const std::optional<double> hit = model->cache->get(key)) {
       values[i] = *hit;
       ++hit_count;
     } else {
-      misses.push_back(Miss{i, std::move(key), enqueue(archs[i])});
+      misses.push_back(
+          Miss{i, std::move(key),
+               enqueue(archs[i],
+                       std::shared_ptr<const FleetModel>(fleet, model))});
     }
   }
-  metrics_.count_archs(hit_count, misses.size());
+  metrics_.count_archs(hit_count, misses.size(), section);
   try {
     for (Miss& miss : misses) {
       values[miss.index] = miss.value.get();
-      cache_.put(miss.key, values[miss.index]);
+      model->cache->put(miss.key, values[miss.index]);
     }
   } catch (const ConfigError& e) {
-    metrics_.count_predict_error();
+    metrics_.count_predict_error(section);
     return format_error(kErrBadArch, e.what());
   } catch (const std::exception& e) {
-    metrics_.count_predict_error();
+    metrics_.count_predict_error(section);
     return format_error(kErrServerError, e.what());
   }
-  metrics_.count_predict_line(misses.empty());
+  metrics_.count_predict_line(misses.empty(), section);
 
   std::ostringstream os;
   os << values.size();
@@ -251,47 +295,87 @@ std::string PredictionServer::handle_predict_batch(
   return format_ok("predict_batch", os.str());
 }
 
-std::string PredictionServer::handle_info() {
-  const ModelRef ref = current_model();
+std::string PredictionServer::handle_info(const std::string& payload) {
+  const std::shared_ptr<const ModelFleet> fleet = current_fleet();
+  const FleetModel* model = nullptr;
+  if (payload.empty()) {
+    model = &fleet->default_model();
+  } else {
+    model = fleet->find(payload);
+    if (model == nullptr) {
+      metrics_.count_control_line(true);
+      return format_error(kErrUnknownModel,
+                          "unknown model '" + payload +
+                              "' (see the models verb)");
+    }
+  }
+  metrics_.count_control_line(false);
   const MetricsSnapshot snap = metrics_.snapshot();
   std::ostringstream os;
-  os << "proto=1 kind=" << ref.model->kind()
-     << " encoder=" << ref.model->encoder_key()
-     << " space=" << ref.model->spec().name
-     << " generation=" << ref.generation << " reloads=" << snap.reloads
-     << " cache_capacity=" << cache_.capacity()
-     << " artifact_crc32=" << snap.artifact_crc32
-     << " artifact=" << snap.artifact;
+  os << "proto=1 model=" << model->name << " kind=" << model->model->kind()
+     << " encoder=" << model->model->encoder_key()
+     << " space=" << model->model->spec().name
+     << " generation=" << model->generation
+     << " models=" << fleet->models().size()
+     << " default=" << fleet->default_model().name
+     << " reloads=" << snap.reloads
+     << " cache_capacity=" << config_.cache_capacity
+     << " artifact_crc32=" << model->crc32_hex
+     << " artifact=" << model->artifact_path;
+  if (fleet->from_manifest()) {
+    os << " manifest_crc32=" << fleet->manifest_crc32()
+       << " manifest=" << fleet->source_path();
+  }
   return format_ok("info", os.str());
 }
 
+std::string PredictionServer::handle_models() {
+  const std::shared_ptr<const ModelFleet> fleet = current_fleet();
+  std::ostringstream os;
+  for (std::size_t i = 0; i < fleet->models().size(); ++i) {
+    if (i > 0) os << ' ';
+    os << fleet->models()[i].name;
+  }
+  return format_ok("models", os.str());
+}
+
 std::string PredictionServer::handle_stats() {
+  const std::shared_ptr<const ModelFleet> fleet = current_fleet();
+  std::size_t cache_size = 0;
+  for (const FleetModel& model : fleet->models()) {
+    cache_size += model.cache->size();
+  }
   std::string payload = ServerMetrics::stats_payload(metrics_.snapshot());
-  payload += " cache_size=" + std::to_string(cache_.size()) +
-             " cache_capacity=" + std::to_string(cache_.capacity());
+  payload += " models=" + std::to_string(fleet->models().size()) +
+             " cache_size=" + std::to_string(cache_size) +
+             " cache_capacity=" + std::to_string(config_.cache_capacity);
   return format_ok("stats", payload);
 }
 
 std::string PredictionServer::handle_reload(const std::string& path) {
   try {
-    install_artifact(path);
+    install_source(path);
   } catch (const std::exception& e) {
-    // The old model keeps serving; install_artifact swaps only on success.
+    // The old fleet keeps serving; install_source swaps only after every
+    // entry of the new fleet loaded (all-or-nothing).
     metrics_.count_control_line(true);
     return format_error(kErrReloadFailed, e.what());
   }
   metrics_.count_control_line(false);
   metrics_.count_reload();
-  const ModelRef ref = current_model();
-  return format_ok("reload", "kind=" + ref.model->kind() +
-                                 " generation=" +
-                                 std::to_string(ref.generation) +
-                                 " artifact=" + path);
+  const std::shared_ptr<const ModelFleet> fleet = current_fleet();
+  const FleetModel& def = fleet->default_model();
+  return format_ok("reload",
+                   "models=" + std::to_string(fleet->models().size()) +
+                       " default=" + def.name + " generation=" +
+                       std::to_string(def.generation) + " source=" + path);
 }
 
-std::future<double> PredictionServer::enqueue(ArchConfig arch) {
+std::future<double> PredictionServer::enqueue(
+    ArchConfig arch, std::shared_ptr<const FleetModel> model) {
   Pending pending;
   pending.arch = std::move(arch);
+  pending.model = std::move(model);
   std::future<double> result = pending.result.get_future();
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
@@ -303,42 +387,59 @@ std::future<double> PredictionServer::enqueue(ArchConfig arch) {
 
 void PredictionServer::batcher_loop() {
   for (;;) {
-    std::vector<Pending> batch;
+    std::vector<Pending> drained;
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       queue_cv_.wait(lock,
                      [this] { return !queue_.empty() || batcher_stop_; });
       if (queue_.empty()) return;  // stop requested and queue drained
-      // Everything that accumulated while the previous batch was in
-      // flight coalesces into this dispatch (bounded by max_batch).
+      // Everything that accumulated while the previous round was in
+      // flight coalesces into this round (bounded by max_batch).
       const std::size_t n = std::min(queue_.size(), config_.max_batch);
-      batch.reserve(n);
+      drained.reserve(n);
       for (std::size_t i = 0; i < n; ++i) {
-        batch.push_back(std::move(queue_.front()));
+        drained.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
     }
-    // Snapshot per dispatch: a concurrent reload swaps the pointer for the
-    // NEXT batch; requests already dispatched finish on this model.
-    const ModelRef ref = current_model();
-    std::vector<ArchConfig> archs;
-    archs.reserve(batch.size());
-    for (const Pending& p : batch) archs.push_back(p.arch);
-    metrics_.count_batch(batch.size());
-    try {
-      const std::vector<double> values = ref.model->predict_all(archs);
-      for (std::size_t i = 0; i < batch.size(); ++i) {
-        batch[i].result.set_value(values[i]);
+    // Group by model: each group is one predict_all dispatch against the
+    // model instance the requests were routed to. Entries keep their fleet
+    // snapshot alive, so a concurrent reload never invalidates a group.
+    std::vector<std::pair<const FleetModel*, std::vector<std::size_t>>>
+        groups;
+    for (std::size_t i = 0; i < drained.size(); ++i) {
+      const FleetModel* key = drained[i].model.get();
+      bool found = false;
+      for (auto& group : groups) {
+        if (group.first == key) {
+          group.second.push_back(i);
+          found = true;
+          break;
+        }
       }
-    } catch (...) {
-      // Per-arch fallback: one failing architecture (e.g. a layer a
-      // device-less LUT never profiled) must not poison the coalesced
-      // requests of other clients.
-      for (Pending& p : batch) {
-        try {
-          p.result.set_value(ref.model->predict_ms(p.arch));
-        } catch (...) {
-          p.result.set_exception(std::current_exception());
+      if (!found) groups.push_back({key, {i}});
+    }
+    for (const auto& [model, indices] : groups) {
+      std::vector<ArchConfig> archs;
+      archs.reserve(indices.size());
+      for (std::size_t i : indices) archs.push_back(drained[i].arch);
+      metrics_.count_batch(indices.size());
+      try {
+        const std::vector<double> values = model->model->predict_all(archs);
+        for (std::size_t k = 0; k < indices.size(); ++k) {
+          drained[indices[k]].result.set_value(values[k]);
+        }
+      } catch (...) {
+        // Per-arch fallback: one failing architecture (e.g. a layer a
+        // device-less LUT never profiled) must not poison the coalesced
+        // requests of other clients.
+        for (std::size_t i : indices) {
+          Pending& p = drained[i];
+          try {
+            p.result.set_value(model->model->predict_ms(p.arch));
+          } catch (...) {
+            p.result.set_exception(std::current_exception());
+          }
         }
       }
     }

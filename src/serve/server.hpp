@@ -1,23 +1,30 @@
-// Long-running prediction server: loads any `.esm` artifact through the
-// surrogate registry, admits concurrent client sessions over any Stream
-// transport, coalesces pending single predictions into batches dispatched
-// through predict_all (and so the shared thread pool), answers repeats from
-// a sharded LRU cache, hot-swaps artifacts on `reload` between batches, and
-// drains in-flight requests before stopping.
+// Long-running prediction server over a fleet of named models: loads a
+// fleet manifest (or a single `.esm` artifact, served as a one-model fleet
+// named "default"), admits concurrent client sessions over any Stream
+// transport, routes each request to a model by its optional key, coalesces
+// pending predictions into per-model batches dispatched through
+// predict_all (and so the shared thread pool), answers repeats from each
+// model's own sharded LRU cache, hot-swaps the whole fleet on `reload`
+// between batches, and drains in-flight requests before stopping.
 //
 // Threading model:
 //   - serve(stream) spawns one session thread per client; it reads request
-//     lines, resolves cache hits inline, and parks misses on the shared
-//     pending queue behind a per-request promise.
+//     lines, routes them to a fleet model, resolves cache hits inline, and
+//     parks misses on the shared pending queue behind a per-request
+//     promise.
 //   - one batcher thread drains the pending queue: whatever accumulated
-//     while the previous batch was in flight becomes the next predict_all
-//     dispatch (capped at ServeConfig::max_batch), so concurrent singles
-//     from different clients coalesce automatically with no timer.
-//   - `reload` swaps the model shared_ptr under a mutex and clears the
-//     cache; the batcher snapshots the pointer per dispatch, so requests
-//     already dispatched finish on the old model. Cache keys carry the
-//     model generation, so entries written by a superseded generation are
-//     never served to requests issued after the swap.
+//     while the previous dispatch was in flight is grouped by model and
+//     each group becomes one predict_all dispatch (the drain is capped at
+//     ServeConfig::max_batch), so concurrent singles from different
+//     clients coalesce automatically with no timer.
+//   - `reload` builds the next fleet completely — every manifest entry
+//     read, CRC-checked, and parsed — before swapping one shared_ptr under
+//     a mutex; any failure keeps the old fleet serving (all-or-nothing).
+//     Queue entries carry their model's shared_ptr, so requests already
+//     routed finish on the fleet they were routed against. Each model's
+//     cache travels with it: an unchanged entry (same name, same artifact
+//     CRC) keeps its warm cache across the swap, while replaced models get
+//     a fresh generation and an empty cache.
 //   - request_stop()/wait() drain: session streams are closed, sessions
 //     answer every request already on the wire, the batcher finishes the
 //     queue, then every thread is joined. No request that was read is
@@ -34,7 +41,7 @@
 #include <thread>
 #include <vector>
 
-#include "serve/cache.hpp"
+#include "serve/fleet.hpp"
 #include "serve/metrics.hpp"
 #include "serve/protocol.hpp"
 #include "surrogate/trainable.hpp"
@@ -42,20 +49,22 @@
 namespace esm::serve {
 
 struct ServeConfig {
-  std::string artifact_path;            ///< loaded at construction
-  std::size_t cache_capacity = 4096;    ///< 0 disables the cache
+  /// Loaded at construction: a fleet manifest (first line "esm-fleet v1")
+  /// or a bare surrogate artifact, distinguished by content.
+  std::string artifact_path;
+  std::size_t cache_capacity = 4096;    ///< per model; 0 disables caching
   std::size_t cache_shards = 8;
   std::size_t max_line_bytes = 64 * 1024;  ///< longer request lines error
-  std::size_t max_batch = 64;           ///< archs per predict_all dispatch
+  std::size_t max_batch = 64;           ///< pending drained per dispatch round
   std::size_t max_batch_archs = 1024;   ///< archs per predict_batch request
   double summary_period_s = 0.0;        ///< >0: periodic stderr summary
 };
 
 class PredictionServer {
  public:
-  /// Loads the artifact (single read: identity CRC32 + parse share the
-  /// buffer) and starts the batcher. Throws esm::ConfigError when the
-  /// artifact cannot be loaded.
+  /// Loads the fleet (each artifact read once: identity CRC32 + parse
+  /// share the buffer) and starts the batcher. Throws esm::ConfigError
+  /// when the manifest or any artifact cannot be loaded.
   explicit PredictionServer(ServeConfig config);
 
   /// Stops and joins everything (equivalent to request_stop() + wait()).
@@ -83,22 +92,22 @@ class PredictionServer {
 
   MetricsSnapshot metrics() const { return metrics_.snapshot(); }
 
-  /// The currently served model (snapshot; reload may swap it right after).
+  /// The currently served fleet (snapshot; reload may swap it right after).
+  std::shared_ptr<const ModelFleet> fleet() const;
+
+  /// The current default model's surrogate (single-artifact convenience).
   std::shared_ptr<const TrainableSurrogate> model() const;
 
  private:
   struct Pending {
     ArchConfig arch;
+    /// Aliased into the fleet snapshot the request was routed against;
+    /// keeps that fleet (and its caches) alive until the promise resolves.
+    std::shared_ptr<const FleetModel> model;
     std::promise<double> result;
   };
 
-  /// Model pointer plus its reload generation, snapshotted together.
-  struct ModelRef {
-    std::shared_ptr<const TrainableSurrogate> model;
-    std::uint64_t generation = 0;
-  };
-
-  ModelRef current_model() const;
+  std::shared_ptr<const ModelFleet> current_fleet() const;
 
   /// Handles one request line; returns the response line and sets
   /// `shutdown_requested` for the `shutdown` verb.
@@ -106,29 +115,35 @@ class PredictionServer {
 
   std::string handle_predict(const std::string& payload);
   std::string handle_predict_batch(const std::string& payload);
-  std::string handle_info();
+  std::string handle_info(const std::string& payload);
+  std::string handle_models();
   std::string handle_stats();
   std::string handle_reload(const std::string& path);
 
-  /// Queues one architecture for the batcher; the future resolves with the
-  /// prediction (or rethrows the per-arch failure).
-  std::future<double> enqueue(ArchConfig arch);
+  /// Queues one architecture for the batcher against `model`; the future
+  /// resolves with the prediction (or rethrows the per-arch failure).
+  std::future<double> enqueue(ArchConfig arch,
+                              std::shared_ptr<const FleetModel> model);
 
   void session_loop(std::shared_ptr<Stream> stream);
   void batcher_loop();
   void summary_loop();
 
-  /// Loads `path` once from disk and installs it as the served model
-  /// (construction and reload share this).
-  void install_artifact(const std::string& path);
+  /// Loads the manifest-or-artifact at `path` into a complete fleet and
+  /// swaps it in (construction and reload share this). Serialized so
+  /// concurrent reloads cannot interleave generation assignment.
+  void install_source(const std::string& path);
 
   ServeConfig config_;
   ServerMetrics metrics_;
-  PredictionCache cache_;
 
-  mutable std::mutex model_mutex_;
-  std::shared_ptr<const TrainableSurrogate> model_;
-  std::uint64_t model_generation_ = 0;
+  mutable std::mutex fleet_mutex_;
+  std::shared_ptr<const ModelFleet> fleet_;
+
+  /// Monotone over every model instance ever loaded; guarded by
+  /// install_mutex_ (only install_source touches it).
+  std::mutex install_mutex_;
+  std::uint64_t generation_counter_ = 0;
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;

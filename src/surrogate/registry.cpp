@@ -5,7 +5,9 @@
 #include <sstream>
 #include <utility>
 
+#include "common/checksum.hpp"
 #include "common/error.hpp"
+#include "common/fsio.hpp"
 #include "common/strings.hpp"
 #include "encoding/registry.hpp"
 #include "surrogate/ensemble_surrogate.hpp"
@@ -134,8 +136,9 @@ std::unique_ptr<TrainableSurrogate> SurrogateRegistry::load(
 
 std::vector<std::string> SurrogateRegistry::keys() const { return order_; }
 
-void save_surrogate(const TrainableSurrogate& surrogate,
-                    const std::string& path) {
+namespace {
+
+ArchiveWriter render_artifact(const TrainableSurrogate& surrogate) {
   ESM_REQUIRE(surrogate.fitted(), "cannot save an unfitted surrogate");
   ArchiveWriter archive;
   archive.put_int("esm.format", kSurrogateFormatVersion);
@@ -143,7 +146,21 @@ void save_surrogate(const TrainableSurrogate& surrogate,
   archive.put_string("esm.encoder", surrogate.encoder_key());
   surrogate.spec().save(archive, "spec");
   surrogate.save(archive);
-  archive.save(path);
+  return archive;
+}
+
+}  // namespace
+
+void save_surrogate(const TrainableSurrogate& surrogate,
+                    const std::string& path) {
+  render_artifact(surrogate).save(path);
+}
+
+std::string save_surrogate_atomic(const TrainableSurrogate& surrogate,
+                                  const std::string& path) {
+  const std::string bytes = render_artifact(surrogate).to_string();
+  write_file_atomic(path, bytes);
+  return crc32_hex(crc32(bytes));
 }
 
 std::unique_ptr<TrainableSurrogate> load_surrogate(const std::string& path) {

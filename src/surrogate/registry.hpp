@@ -85,6 +85,13 @@ class SurrogateRegistry {
 void save_surrogate(const TrainableSurrogate& surrogate,
                     const std::string& path);
 
+/// Same artifact, written atomically (write-temp -> fsync -> rename): a
+/// concurrent reader or a crash mid-publish sees the old file or the new
+/// one, never a torn artifact. Returns the CRC32 hex of the written bytes
+/// — the identity fleet manifests pin the artifact to.
+std::string save_surrogate_atomic(const TrainableSurrogate& surrogate,
+                                  const std::string& path);
+
 /// Reads the artifact header at `path` and dispatches to the registered
 /// loader for its kind. The result predicts immediately; fitting again
 /// requires family-specific context (device, encoder) and is not restored.

@@ -4,7 +4,12 @@
 // requests from 8 in-process clients, zero drops, every response
 // bit-identical to offline predict_all, stats counters reconciling exactly —
 // cache hit/miss bit-identity, hot reload without dropping in-flight
-// requests, drain-on-stop, and the cache/metrics building blocks.
+// requests, drain-on-stop, the cache/metrics building blocks, and fleet
+// mode: manifest-served multi-model routing (concurrent routed predictions
+// bit-identical to each model's offline predict_all), per-model stats that
+// sum exactly to the fleet-wide totals, all-or-nothing reload that keeps
+// the old fleet on a corrupt artifact, and warm-cache carry-over for
+// unchanged models.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -18,6 +23,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/fsio.hpp"
 #include "common/rng.hpp"
 #include "encoding/registry.hpp"
 #include "hwsim/device.hpp"
@@ -27,6 +33,7 @@
 #include "nets/sampler.hpp"
 #include "nets/supernet.hpp"
 #include "serve/cache.hpp"
+#include "serve/fleet.hpp"
 #include "serve/metrics.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
@@ -76,6 +83,10 @@ const std::string& artifact_a() {
 }
 const std::string& artifact_b() {
   static const std::string path = build_artifact("serve_b.esm", 1.37, 0.5);
+  return path;
+}
+const std::string& artifact_c() {
+  static const std::string path = build_artifact("serve_c.esm", 0.8, 1.1);
   return path;
 }
 
@@ -141,6 +152,42 @@ ServeConfig test_config(const std::string& artifact) {
   ServeConfig config;
   config.artifact_path = artifact;
   return config;
+}
+
+/// Writes a fleet manifest under TempDir listing (name, artifact) pairs;
+/// the first pair becomes the default model. `bad_crc_for` deliberately
+/// mis-states that entry's expected CRC, for all-or-nothing reload tests.
+std::string write_fleet_manifest(
+    const std::string& file,
+    const std::vector<std::pair<std::string, std::string>>& models,
+    const std::string& bad_crc_for = "") {
+  serve::FleetManifest manifest;
+  for (const auto& [name, artifact] : models) {
+    serve::ManifestEntry entry;
+    entry.name = name;
+    entry.crc32_hex = name == bad_crc_for
+                          ? std::string("deadbeef")
+                          : serve::file_crc32_hex(artifact);
+    entry.path = artifact;  // absolute TempDir paths need no resolution
+    manifest.upsert(entry);
+  }
+  const std::string path = testing::TempDir() + "/" + file;
+  serve::write_manifest_atomic(manifest, path);
+  return path;
+}
+
+/// Sums `model.<name>.<counter>` over every per-model stats section.
+std::uint64_t model_stat_sum(const std::map<std::string, std::string>& kv,
+                             const std::string& counter) {
+  const std::string suffix = "." + counter;
+  std::uint64_t sum = 0;
+  for (const auto& [key, value] : kv) {
+    if (key.rfind("model.", 0) == 0 && key.size() >= suffix.size() &&
+        key.compare(key.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      sum += std::stoull(value);
+    }
+  }
+  return sum;
 }
 
 // ---------------------------------------------------- parse_arch_request
@@ -306,7 +353,10 @@ TEST(ServeTest, MalformedRequestsYieldStructuredErrorsNeverACrash) {
   const std::vector<std::pair<std::string, std::string>> matrix = {
       {"", serve::kErrBadRequest},
       {"predict", serve::kErrBadRequest},
-      {"predict banana", serve::kErrBadArch},
+      // "banana" starts with a letter, so fleet routing reads it as a model
+      // key — unknown key, structured error (the keyless grammar is only
+      // ambiguous for payloads that could never be an architecture).
+      {"predict banana", serve::kErrUnknownModel},
       {"predict 3,5", serve::kErrBadArch},
       {"predict 9,9,9,9", serve::kErrBadArch},
       {"predict 0,5,2,7", serve::kErrBadArch},
@@ -317,7 +367,7 @@ TEST(ServeTest, MalformedRequestsYieldStructuredErrorsNeverACrash) {
       {"predict_batch 3,5,2,7;banana", serve::kErrBadArch},
       {"flarp 1", serve::kErrUnknownVerb},
       {"\x01\x02garbage", serve::kErrUnknownVerb},
-      {"info extra", serve::kErrBadRequest},
+      {"info extra", serve::kErrUnknownModel},
       {"stats now", serve::kErrBadRequest},
       {"shutdown now", serve::kErrBadRequest},
       {"reload", serve::kErrBadRequest},
@@ -559,6 +609,250 @@ TEST(ServeTest, RejectsNewSessionsWhileStopping) {
 TEST(ServeTest, ConstructorRejectsMissingArtifact) {
   EXPECT_THROW(PredictionServer(test_config("/nonexistent/model.esm")),
                ConfigError);
+}
+
+// -------------------------------------------------------------- fleet mode
+
+// Headline fleet pin (acceptance criterion): a three-model fleet answers
+// concurrent routed predictions bit-identically to each model's offline
+// predict_all, and every per-model stats section sums exactly to the
+// fleet-wide totals.
+TEST(FleetServeTest, ThreeModelRoutedPredictionsBitIdenticalToOffline) {
+  const std::string manifest = write_fleet_manifest(
+      "fleet3.esmf", {{"alpha", artifact_a()},
+                      {"bravo", artifact_b()},
+                      {"charlie", artifact_c()}});
+  const std::vector<std::string> pool = arch_pool(97);
+  const std::map<std::string, std::map<std::string, double>> expected = {
+      {"alpha", offline_predictions(artifact_a(), pool)},
+      {"bravo", offline_predictions(artifact_b(), pool)},
+      {"charlie", offline_predictions(artifact_c(), pool)}};
+  // Models agreeing on an arch would blunt the misrouting check.
+  ASSERT_NE(expected.at("alpha").at(pool[0]), expected.at("bravo").at(pool[0]));
+  ASSERT_NE(expected.at("bravo").at(pool[0]),
+            expected.at("charlie").at(pool[0]));
+
+  PredictionServer server(test_config(manifest));
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 400;
+  static const char* kNames[3] = {"alpha", "bravo", "charlie"};
+
+  std::vector<ServeClient> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) clients.push_back(connect(server));
+
+  std::atomic<int> answered{0};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      // Every client rotates through all three models, so each batcher
+      // round mixes routes and the per-model group dispatch is exercised.
+      for (int i = 0; i < kPerClient; ++i) {
+        const std::string model = kNames[(c + i) % 3];
+        const std::string& arch =
+            pool[(static_cast<std::size_t>(c) * 7919 +
+                  static_cast<std::size_t>(i) * 13) %
+                 pool.size()];
+        const double value =
+            clients[static_cast<std::size_t>(c)].predict(model, arch);
+        answered.fetch_add(1, std::memory_order_relaxed);
+        if (value != expected.at(model).at(arch)) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(answered.load(), kClients * kPerClient);
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(clients[0].models(),
+            (std::vector<std::string>{"alpha", "bravo", "charlie"}));
+
+  const std::map<std::string, std::string> stats = clients[0].stats();
+  EXPECT_EQ(stat(stats, "requests"),
+            static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(stat(stats, "errors"), 0u);
+  EXPECT_EQ(stat(stats, "requests"),
+            stat(stats, "hits") + stat(stats, "misses") +
+                stat(stats, "errors"));
+  EXPECT_EQ(stat(stats, "archs"),
+            stat(stats, "arch_hits") + stat(stats, "arch_misses"));
+  EXPECT_EQ(stat(stats, "batched_archs"), stat(stats, "arch_misses"));
+  // Per-model sections sum to the fleet totals exactly — every global
+  // increment is paired with exactly one section increment.
+  for (const char* counter : {"requests", "hits", "misses", "errors", "archs",
+                              "arch_hits", "arch_misses"}) {
+    EXPECT_EQ(model_stat_sum(stats, counter), stat(stats, counter)) << counter;
+  }
+  // The rotation routes exactly a third of the traffic to each model.
+  EXPECT_EQ(stat(stats, "model.alpha.requests"),
+            static_cast<std::uint64_t>(kClients * kPerClient / 3));
+  EXPECT_EQ(stat(stats, "model.charlie.requests"),
+            static_cast<std::uint64_t>(kClients * kPerClient / 3));
+}
+
+TEST(FleetServeTest, KeylessRequestsRouteToTheDefaultModel) {
+  const std::string manifest = write_fleet_manifest(
+      "fleet_default.esmf",
+      {{"alpha", artifact_a()}, {"bravo", artifact_b()}});
+  const std::vector<std::string> specs = {"3,5,2,7", "1,1,1,1"};
+  const std::map<std::string, double> expected_a =
+      offline_predictions(artifact_a(), specs);
+  const std::map<std::string, double> expected_b =
+      offline_predictions(artifact_b(), specs);
+
+  PredictionServer server(test_config(manifest));
+  ServeClient client = connect(server);
+
+  // The PR-5 keyless protocol stays valid against a manifest-served fleet:
+  // keyless lines hit the default model.
+  EXPECT_EQ(client.predict(specs[0]), expected_a.at(specs[0]));
+  const std::vector<double> batch = client.predict_batch({specs[0], specs[1]});
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0], expected_a.at(specs[0]));
+  EXPECT_EQ(batch[1], expected_a.at(specs[1]));
+
+  // Routed lines hit the named model.
+  EXPECT_EQ(client.predict("bravo", specs[0]), expected_b.at(specs[0]));
+  const std::vector<double> routed =
+      client.predict_batch("bravo", {specs[0], specs[1]});
+  ASSERT_EQ(routed.size(), 2u);
+  EXPECT_EQ(routed[0], expected_b.at(specs[0]));
+  EXPECT_EQ(routed[1], expected_b.at(specs[1]));
+
+  const std::map<std::string, std::string> info = client.info();
+  EXPECT_EQ(info.at("model"), "alpha");
+  EXPECT_EQ(info.at("default"), "alpha");
+  EXPECT_EQ(info.at("models"), "2");
+  EXPECT_EQ(info.at("manifest"), manifest);
+  EXPECT_EQ(info.at("manifest_crc32").size(), 8u);
+  const std::map<std::string, std::string> info_b = client.info("bravo");
+  EXPECT_EQ(info_b.at("model"), "bravo");
+  EXPECT_EQ(info_b.at("artifact"), artifact_b());
+}
+
+TEST(FleetServeTest, UnknownModelKeysYieldStructuredErrors) {
+  const std::string manifest =
+      write_fleet_manifest("fleet_unknown.esmf", {{"alpha", artifact_a()}});
+  PredictionServer server(test_config(manifest));
+  ServeClient client = connect(server);
+
+  for (const char* request : {"predict nosuch 3,5,2,7",
+                              "predict_batch nosuch 3,5,2,7;1,1,1,1",
+                              "info nosuch"}) {
+    const ParsedResponse response = client.call(request);
+    EXPECT_FALSE(response.ok) << request;
+    EXPECT_EQ(response.verb_or_code, serve::kErrUnknownModel) << request;
+    EXPECT_NE(response.payload.find("nosuch"), std::string::npos) << request;
+  }
+
+  // The two failed prediction lines land in the _unrouted pseudo-section
+  // (the info failure is a control error); the totals still reconcile.
+  const std::map<std::string, std::string> stats = client.stats();
+  EXPECT_EQ(stat(stats, "model._unrouted.errors"), 2u);
+  EXPECT_EQ(stat(stats, "errors"), 2u);
+  EXPECT_EQ(stat(stats, "control_errors"), 1u);
+  EXPECT_EQ(stat(stats, "requests"),
+            stat(stats, "hits") + stat(stats, "misses") +
+                stat(stats, "errors"));
+}
+
+// Acceptance criterion: a reload whose manifest references one corrupt
+// artifact changes nothing — same models, same generations, same answers.
+TEST(FleetServeTest, ReloadWithOneCorruptArtifactChangesNothing) {
+  const std::string manifest = write_fleet_manifest(
+      "fleet_good.esmf", {{"alpha", artifact_a()}, {"bravo", artifact_b()}});
+  const std::vector<std::string> specs = {"3,5,2,7"};
+  const std::map<std::string, double> expected_a =
+      offline_predictions(artifact_a(), specs);
+  const std::map<std::string, double> expected_b =
+      offline_predictions(artifact_b(), specs);
+
+  PredictionServer server(test_config(manifest));
+  ServeClient client = connect(server);
+  EXPECT_EQ(client.predict("alpha", specs[0]), expected_a.at(specs[0]));
+  EXPECT_EQ(client.predict("bravo", specs[0]), expected_b.at(specs[0]));
+  const std::string gen_before = client.info("bravo").at("generation");
+
+  // A three-model manifest whose new entry lies about its artifact's CRC.
+  const std::string bad = write_fleet_manifest(
+      "fleet_bad.esmf",
+      {{"alpha", artifact_a()},
+       {"bravo", artifact_b()},
+       {"charlie", artifact_c()}},
+      /*bad_crc_for=*/"charlie");
+  const ParsedResponse response = client.call("reload " + bad);
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.verb_or_code, serve::kErrReloadFailed);
+  // The error names the offending entry.
+  EXPECT_NE(response.payload.find("charlie"), std::string::npos)
+      << response.payload;
+
+  EXPECT_EQ(client.models(), (std::vector<std::string>{"alpha", "bravo"}));
+  EXPECT_EQ(client.predict("alpha", specs[0]), expected_a.at(specs[0]));
+  EXPECT_EQ(client.predict("bravo", specs[0]), expected_b.at(specs[0]));
+  EXPECT_EQ(client.info("bravo").at("generation"), gen_before);
+  EXPECT_EQ(client.info().at("reloads"), "0");
+
+  // A truthful manifest then swaps in the third model atomically, and the
+  // unchanged models carry over untouched.
+  const std::string good = write_fleet_manifest(
+      "fleet_good3.esmf", {{"alpha", artifact_a()},
+                           {"bravo", artifact_b()},
+                           {"charlie", artifact_c()}});
+  client.reload(good);
+  EXPECT_EQ(client.models(),
+            (std::vector<std::string>{"alpha", "bravo", "charlie"}));
+  EXPECT_EQ(client.predict("charlie", specs[0]),
+            offline_predictions(artifact_c(), specs).at(specs[0]));
+  EXPECT_EQ(client.info("bravo").at("generation"), gen_before);
+}
+
+TEST(FleetServeTest, TornManifestReloadKeepsTheOldFleetServing) {
+  const std::string manifest =
+      write_fleet_manifest("fleet_torn_base.esmf", {{"alpha", artifact_a()}});
+  PredictionServer server(test_config(manifest));
+  ServeClient client = connect(server);
+  const double before = client.predict("alpha", "3,5,2,7");
+
+  // Torn mid-write: the magic line made it to disk, nothing else did.
+  const std::string torn = testing::TempDir() + "/fleet_torn.esmf";
+  write_file_atomic(torn, std::string(serve::kManifestMagic) + "\n");
+  const ParsedResponse response = client.call("reload " + torn);
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.verb_or_code, serve::kErrReloadFailed);
+
+  EXPECT_EQ(client.predict("alpha", "3,5,2,7"), before);
+  EXPECT_EQ(client.info().at("generation"), "1");
+}
+
+TEST(FleetServeTest, UnchangedModelsKeepTheirWarmCacheAcrossReload) {
+  const std::string manifest = write_fleet_manifest(
+      "fleet_warm.esmf", {{"alpha", artifact_a()}, {"bravo", artifact_b()}});
+  PredictionServer server(test_config(manifest));
+  ServeClient client = connect(server);
+
+  const ParsedResponse miss = client.call("predict alpha 4,2,6,1");
+  ASSERT_TRUE(miss.ok);
+
+  // bravo's artifact changes (new CRC); alpha's entry is untouched.
+  const std::string swapped = write_fleet_manifest(
+      "fleet_warm2.esmf", {{"alpha", artifact_a()}, {"bravo", artifact_c()}});
+  client.reload(swapped);
+
+  // alpha answers from its carried-over cache — bit-identical, and a hit.
+  const ParsedResponse hit = client.call("predict alpha 4,2,6,1");
+  ASSERT_TRUE(hit.ok);
+  EXPECT_EQ(hit.payload, miss.payload);
+  const std::map<std::string, std::string> stats = client.stats();
+  EXPECT_EQ(stat(stats, "model.alpha.hits"), 1u);
+  EXPECT_EQ(stat(stats, "model.alpha.misses"), 1u);
+  // alpha kept its generation; bravo (same name, new bytes) got a fresh one.
+  EXPECT_EQ(client.info("alpha").at("generation"), "1");
+  EXPECT_EQ(client.info("bravo").at("generation"), "3");
 }
 
 }  // namespace
