@@ -1,8 +1,11 @@
 // Serving throughput benchmark: drives the online prediction server over
 // in-process streams and reports sustained requests/s plus client-observed
 // latency percentiles for cold vs warm cache at 1 and 8 client threads,
-// plus a two-model routed fleet scenario with per-model warm req/s.
-// Writes BENCH_serve.json next to the binary.
+// plus a two-model routed fleet scenario with per-model warm req/s, plus
+// the event-loop front end under 1/8/256/4096 concurrent connections for
+// each wire protocol (newline esm1 and binary esm2, both pipelined eight
+// requests deep per connection so the offered load matches and only the
+// wire format differs). Writes BENCH_serve.json next to the binary.
 //
 //   ./serve_throughput [--requests N] [--pool N] [--out PATH]
 //
@@ -13,14 +16,21 @@
 // isolates the cache's contribution. The fleet scenario serves a two-model
 // manifest and alternates routed requests between the models, measuring
 // what routing and per-model caches cost relative to single-model warm.
+// Event-loop scenarios run warm and self-check: any dropped connection,
+// request error, or stats identity violation aborts the benchmark with a
+// nonzero exit.
 #include <algorithm>
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <deque>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -28,9 +38,12 @@
 #include "encoding/registry.hpp"
 #include "ml/gbdt.hpp"
 #include "nets/builder.hpp"
+#include "serve/client.hpp"
+#include "serve/event_loop.hpp"
 #include "serve/fleet.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
+#include "serve/transport.hpp"
 #include "surrogate/gbdt_surrogate.hpp"
 #include "surrogate/registry.hpp"
 
@@ -106,6 +119,7 @@ struct PerModelResult {
 
 struct ScenarioResult {
   std::string name;
+  std::string proto;  ///< event-loop scenarios only: "esm1" or "esm2"
   int clients = 1;
   bool warm = false;
   std::size_t requests = 0;
@@ -113,6 +127,7 @@ struct ScenarioResult {
   double p50_us = 0.0;
   double p95_us = 0.0;
   double p99_us = 0.0;
+  double p999_us = 0.0;
   std::vector<PerModelResult> per_model;  ///< fleet scenarios only
 };
 
@@ -187,6 +202,7 @@ ScenarioResult run_scenario(const std::string& artifact,
   result.p50_us = percentile(all_us, 50);
   result.p95_us = percentile(all_us, 95);
   result.p99_us = percentile(all_us, 99);
+  result.p999_us = percentile(all_us, 99.9);
   return result;
 }
 
@@ -259,6 +275,7 @@ ScenarioResult run_fleet_scenario(const std::string& manifest,
   result.p50_us = percentile(all_us, 50);
   result.p95_us = percentile(all_us, 95);
   result.p99_us = percentile(all_us, 99);
+  result.p999_us = percentile(all_us, 99.9);
   for (std::size_t m = 0; m < 2; ++m) {
     PerModelResult per;
     per.model = kModels[m];
@@ -268,6 +285,153 @@ ScenarioResult run_fleet_scenario(const std::string& manifest,
                         : 0.0;
     result.per_model.push_back(std::move(per));
   }
+  return result;
+}
+
+/// Event-loop front end under `conns` concurrent loopback connections,
+/// all multiplexed on one reactor thread. At most eight driver threads
+/// round-robin their share of the connections, keeping eight requests in
+/// flight per connection for BOTH protocols (esm1 pipelines on the wire
+/// too — its responses just must return in order), so the offered load is
+/// identical and the wire format + completion order are the only
+/// variables. Warm cache; self-checks drops, errors, and the stats
+/// identities before reporting.
+ScenarioResult run_event_loop_scenario(const std::string& artifact,
+                                       const std::vector<std::string>& pool,
+                                       int conns,
+                                       std::size_t requests_per_conn,
+                                       esm::serve::Protocol proto) {
+  namespace serve = esm::serve;
+  const bool esm2 = proto == serve::Protocol::esm2;
+  const std::size_t window = 8;
+
+  serve::ServeConfig config;
+  config.artifact_path = artifact;
+  config.cache_capacity = 4096;
+  serve::PredictionServer server(config);
+  serve::EventLoop loop(server);
+  const std::shared_ptr<serve::LoopbackListener> listener =
+      serve::make_loopback_listener();
+  loop.add_listener(listener);
+  std::thread loop_thread([&loop] { loop.run(); });
+
+  {  // Prime every pool entry so the measured phase is all cache hits.
+    serve::EsmClient primer(serve::loopback_channel(listener->connect()),
+                            proto);
+    for (const std::string& arch : pool) primer.predict(arch);
+    primer.close();
+  }
+
+  const int driver_threads = std::min(8, conns);
+  std::vector<std::vector<double>> latencies_us(
+      static_cast<std::size_t>(driver_threads));
+  std::atomic<std::size_t> request_errors{0};
+  const Clock::time_point begin = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(driver_threads));
+  for (int t = 0; t < driver_threads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::size_t local =
+          static_cast<std::size_t>(conns * (t + 1) / driver_threads -
+                                   conns * t / driver_threads);
+      std::vector<serve::EsmClient> clients;
+      clients.reserve(local);
+      for (std::size_t c = 0; c < local; ++c) {
+        clients.emplace_back(serve::loopback_channel(listener->connect()),
+                             proto);
+      }
+      std::vector<std::deque<std::pair<std::uint64_t, Clock::time_point>>>
+          pending(local);
+      std::vector<std::size_t> remaining(local, requests_per_conn);
+      std::vector<double>& mine = latencies_us[static_cast<std::size_t>(t)];
+      mine.reserve(local * requests_per_conn);
+      std::size_t left = local * requests_per_conn;
+      std::size_t outstanding = 0;
+      std::size_t counter = 0;
+      while (left > 0 || outstanding > 0) {
+        // Top every connection's window up, then collect one response per
+        // connection; the round-robin keeps all of them in flight at once.
+        for (std::size_t c = 0; c < local; ++c) {
+          while (pending[c].size() < window && remaining[c] > 0) {
+            const std::string& arch =
+                pool[(counter * 131 + c * 7919 +
+                      static_cast<std::size_t>(t)) %
+                     pool.size()];
+            ++counter;
+            pending[c].emplace_back(clients[c].submit("predict", arch),
+                                    Clock::now());
+            --remaining[c];
+            --left;
+            ++outstanding;
+          }
+        }
+        for (std::size_t c = 0; c < local; ++c) {
+          if (pending[c].empty()) continue;
+          const auto [id, start] = pending[c].front();
+          pending[c].pop_front();
+          if (!clients[c].await(id).ok) ++request_errors;
+          mine.push_back(
+              std::chrono::duration<double, std::micro>(Clock::now() - start)
+                  .count());
+          --outstanding;
+        }
+      }
+      for (serve::EsmClient& client : clients) client.close();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - begin).count();
+
+  // Reconcile before tearing anything down, then drain the loop.
+  std::map<std::string, std::string> stats;
+  {
+    serve::EsmClient auditor(serve::loopback_channel(listener->connect()),
+                             proto);
+    stats = auditor.stats();
+    auditor.close();
+  }
+  loop.request_stop();
+  loop_thread.join();
+  server.request_stop();
+  server.wait();
+
+  const serve::EventLoop::Stats loop_stats = loop.stats();
+  const auto stat = [&stats](const char* key) {
+    return std::stoull(stats.at(key));
+  };
+  ESM_REQUIRE(loop_stats.dropped == 0,
+              "event-loop bench dropped " << loop_stats.dropped
+                                          << " connection(s)");
+  ESM_REQUIRE(request_errors.load() == 0,
+              "event-loop bench saw " << request_errors.load()
+                                      << " request error(s)");
+  ESM_REQUIRE(stat("errors") == 0 &&
+                  stat("requests") ==
+                      stat("hits") + stat("misses") + stat("errors") &&
+                  stat("archs") == stat("arch_hits") + stat("arch_misses"),
+              "event-loop bench stats do not reconcile");
+
+  std::vector<double> all_us;
+  for (const std::vector<double>& per_thread : latencies_us) {
+    all_us.insert(all_us.end(), per_thread.begin(), per_thread.end());
+  }
+  std::sort(all_us.begin(), all_us.end());
+
+  ScenarioResult result;
+  result.name = std::string(esm2 ? "esm2" : "esm1") + "_" +
+                std::to_string(conns) +
+                (conns == 1 ? "_conn" : "_conns");
+  result.proto = esm2 ? "esm2" : "esm1";
+  result.clients = conns;
+  result.warm = true;
+  result.requests = all_us.size();
+  result.req_per_s =
+      elapsed_s > 0.0 ? static_cast<double>(all_us.size()) / elapsed_s : 0.0;
+  result.p50_us = percentile(all_us, 50);
+  result.p95_us = percentile(all_us, 95);
+  result.p99_us = percentile(all_us, 99);
+  result.p999_us = percentile(all_us, 99.9);
   return result;
 }
 
@@ -282,7 +446,9 @@ void write_json(const std::string& path,
         << ", \"warm_cache\": " << (r.warm ? "true" : "false")
         << ", \"requests\": " << r.requests
         << ", \"req_per_s\": " << r.req_per_s << ", \"p50_us\": " << r.p50_us
-        << ", \"p95_us\": " << r.p95_us << ", \"p99_us\": " << r.p99_us;
+        << ", \"p95_us\": " << r.p95_us << ", \"p99_us\": " << r.p99_us
+        << ", \"p999_us\": " << r.p999_us;
+    if (!r.proto.empty()) out << ", \"proto\": \"" << r.proto << "\"";
     if (!r.per_model.empty()) {
       out << ", \"per_model\": {";
       for (std::size_t m = 0; m < r.per_model.size(); ++m) {
@@ -343,6 +509,24 @@ int main(int argc, char** argv) {
     }
     std::cout << "\n";
   }
+
+  // Event-loop front end: both protocols at each concurrency level, the
+  // same ~16k-request workload split across the connections.
+  for (const int conns : {1, 8, 256, 4096}) {
+    const std::size_t per_conn =
+        std::max<std::size_t>(2, 16384 / static_cast<std::size_t>(conns));
+    for (const esm::serve::Protocol proto :
+         {esm::serve::Protocol::esm1, esm::serve::Protocol::esm2}) {
+      results.push_back(
+          run_event_loop_scenario(artifact, pool, conns, per_conn, proto));
+      const ScenarioResult& r = results.back();
+      std::cout << r.name << ": " << r.requests << " requests, "
+                << static_cast<long long>(r.req_per_s) << " req/s, p50 "
+                << r.p50_us << " us, p99 " << r.p99_us << " us, p999 "
+                << r.p999_us << " us\n";
+    }
+  }
+
   write_json(args.get_string("out"), results);
   std::cout << "wrote " << args.get_string("out") << "\n";
   return 0;

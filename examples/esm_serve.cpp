@@ -1,131 +1,67 @@
-// esm_serve — loopback-TCP front end for the online prediction server.
+// esm_serve — event-loop TCP front end for the online prediction server.
 //
 // Server mode:
 //   esm_serve model.esm [--port N] [--port-file PATH] [--cache N]
 //             [--max-batch N] [--summary-s SEC] [--threads N]
+//             [--idle-timeout-s SEC] [--backend epoll|poll]
 //   esm_serve --manifest fleet/manifest.esmf [...]
 //   Serves a single `.esm` artifact or a whole fleet manifest (`esm_cli
 //   pipeline` publishes these); the two are told apart by file content, so
 //   the positional form works for both. Binds 127.0.0.1:N (N = 0 lets the
 //   kernel pick; the chosen port is printed as "listening on
-//   127.0.0.1:<port>" and written to --port-file when given), then serves
-//   the newline-delimited protocol of src/serve/protocol.hpp — including
-//   model-routed requests like "predict rpi4 3,5,2,7" — to any number of
-//   concurrent clients. SIGINT and SIGTERM (and the protocol's `shutdown`
-//   verb) drain in-flight requests before exit; a final stats summary goes
-//   to stderr.
+//   127.0.0.1:<port>" and written to --port-file when given). All
+//   connections are multiplexed on one epoll (or poll) reactor thread —
+//   see src/serve/event_loop.hpp — speaking both wire protocols on the
+//   same port: the newline-delimited esm1 protocol of
+//   src/serve/protocol.hpp and the length-prefixed binary esm2 protocol
+//   of src/serve/frame.hpp, told apart by the first byte (0xE5 = esm2).
+//   SIGINT and SIGTERM (and the protocol's `shutdown` verb) drain: every
+//   request already on the wire is answered before exit; a final stats
+//   summary goes to stderr.
 //
 // Client mode:
-//   esm_serve --connect PORT [--host H]
-//   Reads request lines from stdin, prints each response line to stdout.
-//   Exit 0 when every response was ok, 2 when any response was an error,
-//   1 on connection failure — which is what scripts/ci.sh's loopback smoke
-//   test checks.
+//   esm_serve --connect PORT [--host H] [--proto esm1|esm2]
+//   Reads request lines from stdin, prints each response to stdout (esm1
+//   responses verbatim; esm2 responses as "esm2 ok <verb> <payload>" /
+//   "esm2 err <code> <detail>"). Exit 0 when every response was ok, 2
+//   when any response was an error, 1 on connection failure — which is
+//   what scripts/ci.sh's loopback smoke test checks.
 //
 // Example:
 //   esm_cli train --surrogate gbdt -o model.esm
 //   esm_serve model.esm --port 0 &
 //   printf 'predict 3,5,2,7\nstats\nshutdown\n' | esm_serve --connect <port>
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <atomic>
 #include <csignal>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/argparse.hpp"
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "serve/client.hpp"
+#include "serve/event_loop.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
+#include "serve/transport.hpp"
 
 namespace {
 
-/// Stream over a connected TCP socket: buffered line reads bounded by
-/// `max_line`, full-line writes, and a close() that shuts the socket down
-/// so a blocked reader unblocks (the fd itself is closed in the
-/// destructor, keeping the fd number stable against reuse races).
-class TcpStream final : public esm::serve::Stream {
- public:
-  TcpStream(int fd, std::size_t max_line) : fd_(fd), max_line_(max_line) {}
-  ~TcpStream() override {
-    close();
-    ::close(fd_);
-  }
-
-  bool read_line(std::string& line) override {
-    line.clear();
-    for (;;) {
-      const std::size_t newline = buffer_.find('\n');
-      if (newline != std::string::npos) {
-        line = buffer_.substr(0, newline);
-        buffer_.erase(0, newline + 1);
-        if (!line.empty() && line.back() == '\r') line.pop_back();
-        return true;
-      }
-      // A peer that streams more than max_line_ bytes without a newline
-      // cannot be resynchronized; drop the connection.
-      if (buffer_.size() > max_line_ + 2) return false;
-      char chunk[4096];
-      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-      if (n <= 0) {
-        if (n < 0 && errno == EINTR) continue;
-        // Deliver a final unterminated line, if any.
-        if (!buffer_.empty()) {
-          line.swap(buffer_);
-          return true;
-        }
-        return false;
-      }
-      buffer_.append(chunk, static_cast<std::size_t>(n));
-    }
-  }
-
-  bool write_line(const std::string& line) override {
-    std::lock_guard<std::mutex> lock(write_mutex_);
-    std::string framed = line;
-    framed += '\n';
-    std::size_t sent = 0;
-    while (sent < framed.size()) {
-      const ssize_t n =
-          ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return false;
-      }
-      sent += static_cast<std::size_t>(n);
-    }
-    return true;
-  }
-
-  void close() override {
-    bool expected = false;
-    if (shut_.compare_exchange_strong(expected, true)) {
-      ::shutdown(fd_, SHUT_RDWR);
-    }
-  }
-
- private:
-  int fd_;
-  std::size_t max_line_;
-  std::string buffer_;
-  std::mutex write_mutex_;
-  std::atomic<bool> shut_{false};
-};
-
 std::atomic<bool> g_stop{false};
+std::atomic<esm::serve::EventLoop*> g_loop{nullptr};
 
-void handle_signal(int) { g_stop.store(true); }
+// Only async-signal-safe work here: set the flag and poke the loop's
+// wake pipe so the stop is noticed immediately (no polling interval —
+// the old accept loop's 200 ms poll race is gone).
+void handle_signal(int) {
+  g_stop.store(true);
+  esm::serve::EventLoop* loop = g_loop.load();
+  if (loop != nullptr) loop->notify_external();
+}
 
 int run_server(const esm::ArgParser& args) {
   const int threads = static_cast<int>(args.get_int("threads"));
@@ -159,98 +95,84 @@ int run_server(const esm::ArgParser& args) {
               << " [crc32 " << boot.artifact_crc32 << "]\n";
   }
 
-  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  ESM_REQUIRE(listen_fd >= 0, "socket(): " << std::strerror(errno));
-  const int one = 1;
-  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(args.get_int("port")));
-  ESM_REQUIRE(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
-                     sizeof(addr)) == 0,
-              "bind(127.0.0.1:" << args.get_int("port")
-                                << "): " << std::strerror(errno));
-  ESM_REQUIRE(::listen(listen_fd, 64) == 0,
-              "listen(): " << std::strerror(errno));
-  socklen_t addr_len = sizeof(addr);
-  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
-  const int port = ntohs(addr.sin_port);
-  std::cout << "listening on 127.0.0.1:" << port << std::endl;
+  const std::string backend = args.get_string("backend");
+  ESM_REQUIRE(backend == "epoll" || backend == "poll",
+              "--backend must be epoll or poll, got \"" << backend << "\"");
+  esm::serve::EventLoopConfig loop_config;
+  loop_config.force_poll = backend == "poll";
+  loop_config.idle_timeout_s = args.get_double("idle-timeout-s");
+  loop_config.external_stop_check = [] { return g_stop.load(); };
+  esm::serve::EventLoop loop(server, loop_config);
+
+  int port = 0;
+  loop.add_listener(std::shared_ptr<esm::serve::Listener>(
+      esm::serve::make_tcp_listener(static_cast<int>(args.get_int("port")),
+                                    &port)));
+  std::cout << "listening on 127.0.0.1:" << port << " [" << loop.backend()
+            << "]" << std::endl;
   const std::string port_file = args.get_string("port-file");
   if (!port_file.empty()) {
     std::ofstream out(port_file);
     out << port << "\n";
   }
 
+  g_loop.store(&loop);
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
 
-  // Accept loop: poll with a short timeout so SIGINT/SIGTERM and the
-  // protocol-level shutdown verb are both noticed promptly.
-  while (!g_stop.load() && !server.stopping()) {
-    pollfd pfd{listen_fd, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, 200);
-    if (ready < 0 && errno != EINTR) break;
-    if (ready <= 0 || !(pfd.revents & POLLIN)) continue;
-    const int client_fd = ::accept(listen_fd, nullptr, nullptr);
-    if (client_fd < 0) continue;
-    server.serve(std::make_shared<TcpStream>(
-        client_fd, esm::serve::ServeConfig{}.max_line_bytes));
-  }
-  ::close(listen_fd);
+  // Runs the reactor until a signal or the shutdown verb, then drains:
+  // run() only returns once every accepted request has been answered.
+  loop.run();
+  g_loop.store(nullptr);
 
-  // Drain: in-flight requests are answered before the threads join.
   server.request_stop();
   server.wait();
+  const esm::serve::EventLoop::Stats stats = loop.stats();
   std::fprintf(stderr, "%s\n",
                esm::serve::ServerMetrics::summary_line(server.metrics())
                    .c_str());
+  std::fprintf(stderr,
+               "event_loop backend=%s accepted=%llu closed=%llu "
+               "dropped=%llu requests=%llu\n",
+               loop.backend().c_str(),
+               static_cast<unsigned long long>(stats.accepted),
+               static_cast<unsigned long long>(stats.closed),
+               static_cast<unsigned long long>(stats.dropped),
+               static_cast<unsigned long long>(stats.requests));
   return 0;
 }
 
 int run_client(const esm::ArgParser& args) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::cerr << "error: socket(): " << std::strerror(errno) << "\n";
+  const std::string proto = args.get_string("proto");
+  if (proto != "esm1" && proto != "esm2") {
+    std::cerr << "error: --proto must be esm1 or esm2\n";
     return 1;
   }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(args.get_int("connect")));
-  if (::inet_pton(AF_INET, args.get_string("host").c_str(), &addr.sin_addr) !=
-      1) {
-    std::cerr << "error: bad --host\n";
-    ::close(fd);
+  std::shared_ptr<esm::serve::ClientChannel> channel;
+  try {
+    channel = esm::serve::connect_tcp(args.get_string("host"),
+                                      static_cast<int>(args.get_int("connect")));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    std::cerr << "error: connect(" << args.get_string("host") << ":"
-              << args.get_int("connect") << "): " << std::strerror(errno)
-              << "\n";
-    ::close(fd);
-    return 1;
-  }
-  auto stream = std::make_shared<TcpStream>(
-      fd, esm::serve::ServeConfig{}.max_line_bytes);
+  esm::serve::EsmClient client(std::move(channel),
+                               proto == "esm2"
+                                   ? esm::serve::Protocol::esm2
+                                   : esm::serve::Protocol::esm1);
   bool any_error = false;
   std::string request;
   while (std::getline(std::cin, request)) {
     if (request.empty()) continue;
-    if (!stream->write_line(request)) {
-      std::cerr << "error: server closed the connection\n";
+    esm::serve::EsmClient::Response response;
+    try {
+      response = client.call_line(request);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
       return 1;
     }
-    std::string response;
-    if (!stream->read_line(response)) {
-      std::cerr << "error: no response (server closed)\n";
-      return 1;
-    }
-    std::cout << response << "\n";
-    esm::serve::ParsedResponse parsed;
-    if (!esm::serve::parse_response(response, parsed) || !parsed.ok) {
-      any_error = true;
-    }
+    std::cout << response.raw << "\n";
+    if (!response.ok) any_error = true;
   }
   return any_error ? 2 : 0;
 }
@@ -281,8 +203,10 @@ std::vector<const char*> normalize_args(int argc, char** argv,
 int main(int argc, char** argv) {
   esm::ArgParser args(
       "esm_serve MODEL.esm|MANIFEST.esmf: serve latency predictions over "
-      "loopback TCP (newline-delimited protocol: predict, predict_batch, "
-      "info, models, stats, reload, shutdown; requests may route by model "
+      "loopback TCP from one event-loop thread, speaking both the "
+      "newline-delimited esm1 protocol and the binary pipelined esm2 "
+      "protocol on the same port (verbs: predict, predict_batch, info, "
+      "models, stats, reload, shutdown; requests may route by model "
       "name). With --connect PORT, run as a line client instead.");
   args.add_string("model", "", "surrogate artifact or fleet manifest to serve");
   args.add_string("manifest", "",
@@ -297,8 +221,14 @@ int main(int argc, char** argv) {
                   "seconds between stderr stats summaries (0 disables)");
   args.add_int("threads", 0,
                "prediction threads (0 = ESM_THREADS / serial default)");
+  args.add_double("idle-timeout-s", 0.0,
+                  "drop connections idle this long (0 = never)");
+  args.add_string("backend", "epoll",
+                  "reactor backend: epoll (falls back to poll off Linux) "
+                  "or poll");
   args.add_int("connect", 0, "client mode: connect to this port");
   args.add_string("host", "127.0.0.1", "client mode: host to connect to");
+  args.add_string("proto", "esm1", "client mode: wire protocol (esm1|esm2)");
 
   std::vector<std::string> storage;
   const std::vector<const char*> rewritten =

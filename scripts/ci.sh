@@ -5,7 +5,12 @@
 #   scripts/ci.sh full    fast tier, then the remaining (slow) suites, then
 #                         a kill -9 resume smoke test of `esm_cli measure
 #                         --journal/--resume`, then a loopback smoke test of
-#                         the esm_serve server binary, then a fleet smoke
+#                         the esm_serve server binary (both wire protocols
+#                         on one port: newline esm1 and binary esm2, same
+#                         prediction bytes), then the event-loop C10K smoke
+#                         (10k concurrent connections on one reactor
+#                         thread, zero drops, stats reconciled), then a
+#                         fleet smoke
 #                         test (`esm_cli pipeline` publishing models into a
 #                         manifest, kill -9 mid-pipeline converging to
 #                         byte-identical artifacts, routed multi-model
@@ -20,10 +25,11 @@
 #                         an ASan build running the linalg + surrogate +
 #                         esm + corruption-matrix suites, then a TSan build
 #                         running the linalg + fault + parallel + journal +
-#                         serve + fleet suites (journal writes sit on the
-#                         ordered reduction path of the thread pool; serve
-#                         exercises sessions, batcher, routing, and cache
-#                         concurrently)
+#                         serve + fleet + frame + event-loop suites
+#                         (journal writes sit on the ordered reduction path
+#                         of the thread pool; serve exercises sessions,
+#                         batcher, routing, and cache concurrently; the
+#                         event loop adds the reactor thread against both)
 #
 # Thread-count invariance is covered inside the suites themselves
 # (parallel_test pins 1-thread vs 8-thread bit-identity), so CI only needs
@@ -90,9 +96,29 @@ grep -q "^esm1 ok predict " "$SMOKE_DIR/serve.out" \
   || { echo "loopback predict failed"; cat "$SMOKE_DIR/serve.out"; exit 1; }
 grep -q "^esm1 ok stats .*requests=1" "$SMOKE_DIR/serve.out" \
   || { echo "loopback stats failed"; cat "$SMOKE_DIR/serve.out"; exit 1; }
+# The same port speaks the binary esm2 protocol, negotiated per connection
+# by the first byte; the esm2 client must see the identical prediction.
+printf 'predict 3,5,2,7\nshutdown\n' \
+  | build/examples/esm_serve --connect "$SERVE_PORT" --proto esm2 \
+  > "$SMOKE_DIR/serve2.out" \
+  || { echo "esm_serve esm2 client reported an error"; exit 1; }
+grep -q "^esm2 ok predict " "$SMOKE_DIR/serve2.out" \
+  || { echo "esm2 loopback predict failed"; cat "$SMOKE_DIR/serve2.out"; exit 1; }
+ESM1_VALUE="$(sed -n 's/^esm1 ok predict //p' "$SMOKE_DIR/serve.out")"
+grep -qF "esm2 ok predict $ESM1_VALUE" "$SMOKE_DIR/serve2.out" \
+  || { echo "esm2 prediction differs from esm1"; cat "$SMOKE_DIR/serve2.out"; exit 1; }
 wait "$SERVE_PID" \
   || { echo "esm_serve exited non-zero after shutdown"; exit 1; }
-echo "loopback serve smoke test passed"
+echo "loopback serve smoke test passed (esm1 + esm2)"
+
+echo "== event-loop C10K smoke test =="
+# The reactor's headline pin, straight from the suite: 10k concurrent
+# fd-less connections on one loop thread, both protocols, zero drops,
+# every response bit-identical to offline predict_all, stats reconciling.
+build/tests/event_loop_test \
+  --gtest_filter='EventLoopTest.TenThousandConcurrentConnectionsZeroDrops' \
+  || { echo "event-loop C10K smoke FAILED"; exit 1; }
+echo "event-loop C10K smoke test passed"
 
 echo "== fleet pipeline + routed serving smoke test =="
 # The full fleet story end to end: pipeline-publish two models into one
@@ -183,13 +209,16 @@ cmake --build build-asan -j "$JOBS" \
 ctest --test-dir build-asan --output-on-failure \
   -R '^(linalg_test|surrogate_test|surrogate_registry_test|esm_test|corruption_test)$'
 
-echo "== tsan tier (linalg + fault + parallel + journal + serve + fleet) =="
+echo "== tsan tier (linalg + fault + parallel + journal + serve + fleet + event loop) =="
+# event_loop_test puts the reactor thread, the batcher threads, and the
+# client driver threads under TSan at once — including the 10k-connection
+# headline test, which is the strongest cross-thread interleaving we have.
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DESM_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
   --target linalg_test fault_test parallel_test journal_test serve_test \
-  fleet_test
+  fleet_test frame_test event_loop_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R '^(linalg_test|fault_test|parallel_test|journal_test|serve_test|fleet_test)$'
+  -R '^(linalg_test|fault_test|parallel_test|journal_test|serve_test|fleet_test|frame_test|event_loop_test)$'
 
 echo "CI full tier passed."

@@ -1,0 +1,297 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "serve/frame.hpp"
+#include "serve/protocol.hpp"
+
+namespace esm::serve {
+namespace {
+
+/// Blocking channel over a connected TCP socket (owned fd).
+class TcpChannel final : public ClientChannel {
+ public:
+  explicit TcpChannel(int fd) : fd_(fd) {}
+
+  ~TcpChannel() override { close(); }
+
+  bool send(std::string_view bytes) override {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool receive_some(std::string& out) override {
+    char chunk[16 * 1024];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        out.append(chunk, static_cast<std::size_t>(n));
+        return true;
+      }
+      if (n == 0) return false;
+      if (errno != EINTR) return false;
+    }
+  }
+
+  void close() override {
+    if (fd_ >= 0) {
+      ::shutdown(fd_, SHUT_RDWR);
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_;
+};
+
+class LoopbackClientChannel final : public ClientChannel {
+ public:
+  explicit LoopbackClientChannel(std::shared_ptr<LoopbackChannel> channel)
+      : channel_(std::move(channel)) {}
+
+  bool send(std::string_view bytes) override { return channel_->send(bytes); }
+  bool receive_some(std::string& out) override {
+    return channel_->receive_some(out);
+  }
+  void close() override { channel_->close(); }
+
+ private:
+  std::shared_ptr<LoopbackChannel> channel_;
+};
+
+}  // namespace
+
+std::shared_ptr<ClientChannel> connect_tcp(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ESM_REQUIRE(fd >= 0, "socket(): " << std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    ESM_REQUIRE(false, "'" << host << "' is not an IPv4 address");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ESM_REQUIRE(false,
+                "connect(" << host << ":" << port
+                           << "): " << std::strerror(err));
+  }
+  return std::make_shared<TcpChannel>(fd);
+}
+
+std::shared_ptr<ClientChannel> loopback_channel(
+    std::shared_ptr<LoopbackChannel> channel) {
+  return std::make_shared<LoopbackClientChannel>(std::move(channel));
+}
+
+EsmClient::EsmClient(std::shared_ptr<ClientChannel> channel, Protocol protocol)
+    : channel_(std::move(channel)), protocol_(protocol) {}
+
+std::uint64_t EsmClient::submit(const std::string& verb,
+                                const std::string& payload) {
+  const std::uint64_t id = next_id_++;
+  if (protocol_ == Protocol::esm2) {
+    FrameVerb frame_verb;
+    ESM_REQUIRE(parse_frame_verb(verb, frame_verb),
+                "'" << verb << "' is not an esm2 verb");
+    ESM_REQUIRE(channel_->send(encode_request(id, frame_verb, payload)),
+                "server closed before the request could be sent");
+  } else {
+    std::string line = verb;
+    if (!payload.empty()) {
+      line += ' ';
+      line += payload;
+    }
+    line += '\n';
+    ESM_REQUIRE(channel_->send(line),
+                "server closed before the request could be sent");
+    fifo_.push_back(id);
+  }
+  return id;
+}
+
+void EsmClient::pump() {
+  const std::size_t before = completed_.size();
+  while (completed_.size() == before) {
+    // Decode everything already buffered first.
+    if (protocol_ == Protocol::esm2) {
+      for (;;) {
+        Frame frame;
+        std::string error;
+        const FrameParse r = parse_frame(in_, frame, error, 64u << 20);
+        if (r == FrameParse::need_more) break;
+        ESM_REQUIRE(r == FrameParse::ok, "esm2 response: " << error);
+        Response response;
+        if (frame.verb == kFrameErrorVerb) {
+          std::uint8_t code = 0;
+          std::string_view detail;
+          ESM_REQUIRE(split_error_payload(frame.payload, code, detail),
+                      "esm2 error frame with an empty payload");
+          ESM_REQUIRE(frame.request_id != 0,
+                      "connection-level esm2 error: " << detail);
+          response.ok = false;
+          response.verb_or_code = to_string(static_cast<ErrorCode>(code));
+          response.payload = std::string(detail);
+          response.raw = "esm2 err " + response.verb_or_code + " " +
+                         response.payload;
+        } else {
+          ESM_REQUIRE((frame.verb & kFrameResponseBit) != 0,
+                      "esm2 frame without the response bit");
+          response.ok = true;
+          response.verb_or_code = std::string(frame_verb_name(
+              static_cast<std::uint8_t>(frame.verb & ~kFrameResponseBit)));
+          response.payload = std::move(frame.payload);
+          response.raw = "esm2 ok " + response.verb_or_code;
+          if (!response.payload.empty()) {
+            response.raw += ' ';
+            response.raw += response.payload;
+          }
+        }
+        completed_.emplace(frame.request_id, std::move(response));
+      }
+    } else {
+      std::size_t newline;
+      while ((newline = in_.find('\n')) != std::string::npos) {
+        std::string line = in_.substr(0, newline);
+        in_.erase(0, newline + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        ParsedResponse parsed;
+        ESM_REQUIRE(parse_response(line, parsed),
+                    "unparseable server response: '" << line << "'");
+        ESM_REQUIRE(!fifo_.empty(),
+                    "esm1 response with no request outstanding");
+        Response response;
+        response.ok = parsed.ok;
+        response.verb_or_code = std::move(parsed.verb_or_code);
+        response.payload = std::move(parsed.payload);
+        response.raw = std::move(line);
+        completed_.emplace(fifo_.front(), std::move(response));
+        fifo_.erase(fifo_.begin());
+      }
+    }
+    if (completed_.size() != before) return;
+    ESM_REQUIRE(channel_->receive_some(in_),
+                "server stream ended before a response arrived");
+  }
+}
+
+EsmClient::Response EsmClient::await(std::uint64_t id) {
+  for (;;) {
+    const auto it = completed_.find(id);
+    if (it != completed_.end()) {
+      Response response = std::move(it->second);
+      completed_.erase(it);
+      return response;
+    }
+    pump();
+  }
+}
+
+EsmClient::Response EsmClient::call(const std::string& verb,
+                                    const std::string& payload) {
+  return await(submit(verb, payload));
+}
+
+EsmClient::Response EsmClient::call_line(const std::string& line) {
+  const ParsedRequest request = split_request(line);
+  return call(request.verb, request.payload);
+}
+
+EsmClient::Response EsmClient::expect_ok(const std::string& verb,
+                                         const std::string& payload) {
+  Response response = call(verb, payload);
+  ESM_REQUIRE(response.ok, "server replied " << response.verb_or_code << ": "
+                                             << response.payload);
+  return response;
+}
+
+double EsmClient::predict(const std::string& arch_spec) {
+  return std::strtod(expect_ok("predict", arch_spec).payload.c_str(), nullptr);
+}
+
+double EsmClient::predict(const std::string& model,
+                          const std::string& arch_spec) {
+  return std::strtod(expect_ok("predict", model + " " + arch_spec)
+                         .payload.c_str(),
+                     nullptr);
+}
+
+std::vector<double> EsmClient::predict_batch(
+    const std::vector<std::string>& specs) {
+  return predict_batch("", specs);
+}
+
+std::vector<double> EsmClient::predict_batch(
+    const std::string& model, const std::vector<std::string>& specs) {
+  std::string payload;
+  if (!model.empty()) payload = model + " ";
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (i > 0) payload += ';';
+    payload += specs[i];
+  }
+  const Response response = expect_ok("predict_batch", payload);
+  std::istringstream tokens(response.payload);
+  std::size_t n = 0;
+  ESM_REQUIRE(static_cast<bool>(tokens >> n),
+              "malformed predict_batch payload '" << response.payload << "'");
+  std::vector<double> values;
+  values.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string v;
+    ESM_REQUIRE(static_cast<bool>(tokens >> v),
+                "predict_batch payload truncated at value " << i);
+    values.push_back(std::strtod(v.c_str(), nullptr));
+  }
+  return values;
+}
+
+std::map<std::string, std::string> EsmClient::info() {
+  return parse_kv_payload(expect_ok("info", "").payload);
+}
+
+std::map<std::string, std::string> EsmClient::info(const std::string& model) {
+  return parse_kv_payload(expect_ok("info", model).payload);
+}
+
+std::map<std::string, std::string> EsmClient::stats() {
+  return parse_kv_payload(expect_ok("stats", "").payload);
+}
+
+std::vector<std::string> EsmClient::models() {
+  const Response response = expect_ok("models", "");
+  std::vector<std::string> names;
+  std::istringstream tokens(response.payload);
+  std::string name;
+  while (tokens >> name) names.push_back(name);
+  return names;
+}
+
+void EsmClient::reload(const std::string& artifact_path) {
+  expect_ok("reload", artifact_path);
+}
+
+void EsmClient::shutdown() { expect_ok("shutdown", ""); }
+
+}  // namespace esm::serve

@@ -1,0 +1,125 @@
+// EsmClient — one typed client for both serving protocols.
+//
+// Speaks esm1 (newline text) or esm2 (binary frames, serve/frame.hpp) over
+// any blocking byte channel: a TCP socket (connect_tcp) or the in-process
+// loopback transport (loopback_channel), so tests, benches, and the
+// esm_serve CLI all drive the server through this one implementation.
+//
+// Two API levels:
+//   - Sync verbs (predict, predict_batch, info, models, stats, reload,
+//     shutdown): send one request, block for its response, throw
+//     esm::ConfigError on structured errors. Same surface as the PR-5
+//     ServeClient, protocol-independent.
+//   - Pipelining (submit/await): queue many requests without waiting, then
+//     collect responses by id. Over esm2 the server completes requests out
+//     of order and the id match is native; over esm1 responses arrive in
+//     request order and the client re-associates them FIFO — the API is
+//     identical, only the concurrency the wire permits differs, which is
+//     exactly what bench/serve_throughput.cpp measures.
+//
+// Not thread-safe: one EsmClient per thread.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/transport.hpp"
+
+namespace esm::serve {
+
+/// Blocking byte channel to a server. Implementations: TCP, loopback.
+class ClientChannel {
+ public:
+  virtual ~ClientChannel() = default;
+
+  /// Writes all of `bytes`; false once the server closed.
+  virtual bool send(std::string_view bytes) = 0;
+
+  /// Blocks for at least one response byte, appended to `out`; false on
+  /// end-of-stream with nothing buffered.
+  virtual bool receive_some(std::string& out) = 0;
+
+  virtual void close() = 0;
+};
+
+/// Connects a blocking TCP socket to `host`:`port`. Throws
+/// esm::ConfigError when the connection cannot be established.
+std::shared_ptr<ClientChannel> connect_tcp(const std::string& host, int port);
+
+/// Adapts a loopback client half (LoopbackListener::connect) to a
+/// ClientChannel.
+std::shared_ptr<ClientChannel> loopback_channel(
+    std::shared_ptr<LoopbackChannel> channel);
+
+enum class Protocol { esm1, esm2 };
+
+class EsmClient {
+ public:
+  explicit EsmClient(std::shared_ptr<ClientChannel> channel,
+                     Protocol protocol = Protocol::esm1);
+
+  Protocol protocol() const { return protocol_; }
+
+  /// One response, protocol-independent.
+  struct Response {
+    bool ok = false;
+    std::string verb_or_code;  ///< verb when ok, error-code token when not
+    std::string payload;       ///< ok payload / error detail
+    std::string raw;  ///< display form: the esm1 line, or "esm2 ok ..."
+  };
+
+  // -- pipelined API -------------------------------------------------------
+
+  /// Queues one request without waiting; returns its id. Throws
+  /// esm::ConfigError when the verb is unknown to the protocol or the
+  /// connection is gone.
+  std::uint64_t submit(const std::string& verb, const std::string& payload);
+
+  /// Blocks until the response for `id` arrived (responses for other
+  /// pipelined requests are buffered as they pass by). Throws
+  /// esm::ConfigError when the connection ends first.
+  Response await(std::uint64_t id);
+
+  // -- sync verbs ----------------------------------------------------------
+
+  /// submit + await of one request.
+  Response call(const std::string& verb, const std::string& payload);
+
+  double predict(const std::string& arch_spec);
+  double predict(const std::string& model, const std::string& arch_spec);
+  std::vector<double> predict_batch(const std::vector<std::string>& specs);
+  std::vector<double> predict_batch(const std::string& model,
+                                    const std::vector<std::string>& specs);
+  std::map<std::string, std::string> info();
+  std::map<std::string, std::string> info(const std::string& model);
+  std::map<std::string, std::string> stats();
+  std::vector<std::string> models();
+  void reload(const std::string& artifact_path);
+  void shutdown();
+
+  /// Sends a raw "verb payload" line (the CLI's stdin passthrough) and
+  /// blocks for its response — works over both protocols (the line is
+  /// split and re-framed for esm2).
+  Response call_line(const std::string& line);
+
+  void close() { channel_->close(); }
+
+ private:
+  Response expect_ok(const std::string& verb, const std::string& payload);
+
+  /// Reads until at least one more response is decoded into completed_.
+  void pump();
+
+  std::shared_ptr<ClientChannel> channel_;
+  Protocol protocol_;
+  std::uint64_t next_id_ = 1;
+  std::string in_;  ///< undecoded response bytes
+  std::vector<std::uint64_t> fifo_;  ///< esm1: ids awaiting, request order
+  std::map<std::uint64_t, Response> completed_;
+};
+
+}  // namespace esm::serve

@@ -1,0 +1,39 @@
+#include "serve/error.hpp"
+
+namespace esm::serve {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::bad_request:
+      return kErrBadRequest;
+    case ErrorCode::bad_arch:
+      return kErrBadArch;
+    case ErrorCode::unknown_verb:
+      return kErrUnknownVerb;
+    case ErrorCode::oversized:
+      return kErrOversized;
+    case ErrorCode::reload_failed:
+      return kErrReloadFailed;
+    case ErrorCode::server_error:
+      return kErrServerError;
+    case ErrorCode::unknown_model:
+      return kErrUnknownModel;
+    case ErrorCode::bad_frame:
+      return kErrBadFrame;
+  }
+  // A byte from a newer peer: degrade to the backstop token rather than
+  // inventing an unparseable one.
+  return kErrServerError;
+}
+
+bool parse_error_code(std::string_view text, ErrorCode& out) {
+  for (ErrorCode code : kAllErrorCodes) {
+    if (text == to_string(code)) {
+      out = code;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace esm::serve

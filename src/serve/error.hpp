@@ -1,0 +1,59 @@
+// One error-code space for both serving protocols.
+//
+// Every structured error the server can answer — over the newline `esm1`
+// protocol or the binary `esm2` frame protocol — is one of these codes.
+// The enum value is the byte `esm2` error frames carry on the wire and
+// to_string() is the token `esm1` error lines carry, so the two protocols
+// can never drift apart. Both representations are frozen: the numeric
+// values and the strings are wire format, covered by an exhaustive
+// round-trip test (tests/frame_test.cpp), and PR-5/PR-7 era clients that
+// match on the string tokens keep working unchanged.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace esm::serve {
+
+/// Stable error codes shared by esm1 (string token) and esm2 (wire byte).
+/// Values are wire format — never renumber, only append.
+enum class ErrorCode : std::uint8_t {
+  bad_request = 1,    ///< malformed request line/payload for the verb
+  bad_arch = 2,       ///< architecture payload failed to parse/validate
+  unknown_verb = 3,   ///< verb is not part of the protocol
+  oversized = 4,      ///< request exceeds the configured size limit
+  reload_failed = 5,  ///< reload kept the old fleet (load error)
+  server_error = 6,   ///< unexpected internal failure (backstop)
+  unknown_model = 7,  ///< routing key names no loaded model
+  bad_frame = 8,      ///< esm2 only: unparseable frame (magic/CRC/length)
+};
+
+/// Every code, for exhaustive iteration in tests.
+inline constexpr ErrorCode kAllErrorCodes[] = {
+    ErrorCode::bad_request,   ErrorCode::bad_arch,
+    ErrorCode::unknown_verb,  ErrorCode::oversized,
+    ErrorCode::reload_failed, ErrorCode::server_error,
+    ErrorCode::unknown_model, ErrorCode::bad_frame,
+};
+
+/// The stable esm1 wire token for `code` ("bad_request", ...). Unknown
+/// bytes (a newer server's code) render as "server_error" so old clients
+/// still see a valid token.
+const char* to_string(ErrorCode code);
+
+/// Parses a wire token back to its code; false when `text` is no known
+/// code. Round-trips to_string() exactly for every enumerator.
+bool parse_error_code(std::string_view text, ErrorCode& out);
+
+// Legacy string constants, kept so PR-5/PR-7 era callers (and tests)
+// compile unchanged. These are the same wire tokens to_string() returns.
+inline constexpr const char* kErrBadRequest = "bad_request";
+inline constexpr const char* kErrBadArch = "bad_arch";
+inline constexpr const char* kErrUnknownVerb = "unknown_verb";
+inline constexpr const char* kErrOversized = "oversized";
+inline constexpr const char* kErrReloadFailed = "reload_failed";
+inline constexpr const char* kErrServerError = "server_error";
+inline constexpr const char* kErrUnknownModel = "unknown_model";
+inline constexpr const char* kErrBadFrame = "bad_frame";
+
+}  // namespace esm::serve

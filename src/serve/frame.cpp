@@ -1,0 +1,166 @@
+#include "serve/frame.hpp"
+
+#include <cstring>
+
+#include "common/checksum.hpp"
+
+namespace esm::serve {
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(const char* p) {
+  const unsigned char* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(u[0]) |
+         (static_cast<std::uint32_t>(u[1]) << 8) |
+         (static_cast<std::uint32_t>(u[2]) << 16) |
+         (static_cast<std::uint32_t>(u[3]) << 24);
+}
+
+std::uint64_t get_u64(const char* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+}  // namespace
+
+std::string_view frame_verb_name(std::uint8_t verb) {
+  switch (static_cast<FrameVerb>(verb)) {
+    case FrameVerb::predict:
+      return "predict";
+    case FrameVerb::predict_batch:
+      return "predict_batch";
+    case FrameVerb::info:
+      return "info";
+    case FrameVerb::models:
+      return "models";
+    case FrameVerb::stats:
+      return "stats";
+    case FrameVerb::reload:
+      return "reload";
+    case FrameVerb::shutdown:
+      return "shutdown";
+  }
+  return {};
+}
+
+bool parse_frame_verb(std::string_view name, FrameVerb& out) {
+  for (std::uint8_t v = 1; v <= static_cast<std::uint8_t>(FrameVerb::shutdown);
+       ++v) {
+    if (frame_verb_name(v) == name) {
+      out = static_cast<FrameVerb>(v);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string encode_frame(std::uint64_t request_id, std::uint8_t verb,
+                         std::string_view payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  frame.push_back(static_cast<char>(kFrameMagic0));
+  frame.push_back(static_cast<char>(kFrameMagic1));
+  frame.push_back(static_cast<char>(kFrameVersion));
+  frame.push_back(static_cast<char>(verb));
+  put_u64(frame, request_id);
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  // The CRC covers everything before it plus the payload, so a flip in any
+  // section — magic, version, verb, id, length, payload — is caught.
+  std::uint32_t crc = crc32(std::string_view(frame.data(), frame.size()));
+  crc = crc32(payload, crc);
+  put_u32(frame, crc);
+  frame.append(payload.data(), payload.size());
+  return frame;
+}
+
+std::string encode_request(std::uint64_t request_id, FrameVerb verb,
+                           std::string_view payload) {
+  return encode_frame(request_id, static_cast<std::uint8_t>(verb), payload);
+}
+
+std::string encode_ok_response(std::uint64_t request_id,
+                               std::uint8_t request_verb,
+                               std::string_view payload) {
+  return encode_frame(request_id,
+                      static_cast<std::uint8_t>(kFrameResponseBit |
+                                                request_verb),
+                      payload);
+}
+
+std::string encode_error_response(std::uint64_t request_id, std::uint8_t code,
+                                  std::string_view detail) {
+  std::string payload;
+  payload.reserve(1 + detail.size());
+  payload.push_back(static_cast<char>(code));
+  payload.append(detail.data(), detail.size());
+  return encode_frame(request_id, kFrameErrorVerb, payload);
+}
+
+bool split_error_payload(std::string_view payload, std::uint8_t& code,
+                         std::string_view& detail) {
+  if (payload.empty()) return false;
+  code = static_cast<std::uint8_t>(payload[0]);
+  detail = payload.substr(1);
+  return true;
+}
+
+FrameParse parse_frame(std::string& buffer, Frame& out, std::string& error,
+                       std::size_t max_payload) {
+  if (buffer.empty()) return FrameParse::need_more;
+  if (static_cast<unsigned char>(buffer[0]) != kFrameMagic0) {
+    error = "bad frame magic";
+    return FrameParse::bad;
+  }
+  if (buffer.size() >= 2 &&
+      static_cast<unsigned char>(buffer[1]) != kFrameMagic1) {
+    error = "bad frame magic";
+    return FrameParse::bad;
+  }
+  if (buffer.size() >= 3 &&
+      static_cast<std::uint8_t>(buffer[2]) != kFrameVersion) {
+    error = "unsupported frame version " +
+            std::to_string(static_cast<unsigned>(
+                static_cast<unsigned char>(buffer[2])));
+    return FrameParse::bad;
+  }
+  if (buffer.size() < kFrameHeaderBytes) return FrameParse::need_more;
+
+  const std::uint32_t payload_len = get_u32(buffer.data() + 12);
+  // Reject a hostile length before buffering a single payload byte.
+  if (payload_len > max_payload) {
+    error = "oversized frame: " + std::to_string(payload_len) +
+            "-byte payload exceeds the " + std::to_string(max_payload) +
+            "-byte limit";
+    return FrameParse::bad;
+  }
+  const std::size_t total = kFrameHeaderBytes + payload_len;
+  if (buffer.size() < total) return FrameParse::need_more;
+
+  const std::uint32_t stated_crc = get_u32(buffer.data() + 16);
+  std::uint32_t crc = crc32(std::string_view(buffer.data(), 16));
+  crc = crc32(std::string_view(buffer.data() + kFrameHeaderBytes, payload_len),
+              crc);
+  if (crc != stated_crc) {
+    error = "frame CRC mismatch";
+    return FrameParse::bad;
+  }
+
+  out.verb = static_cast<std::uint8_t>(buffer[3]);
+  out.request_id = get_u64(buffer.data() + 4);
+  out.payload.assign(buffer.data() + kFrameHeaderBytes, payload_len);
+  buffer.erase(0, total);
+  return FrameParse::ok;
+}
+
+}  // namespace esm::serve

@@ -1,0 +1,117 @@
+// `esm2` — the length-prefixed binary frame protocol.
+//
+// esm1 (newline-delimited text) stays the protocol for humans and the CLI;
+// esm2 is the opt-in machine protocol for high-throughput clients: fixed
+// header with an explicit payload length (no newline scan, the parser
+// never touches payload bytes until the whole frame arrived), a CRC32
+// guarding the entire frame, and an explicit request id so a client can
+// pipeline many requests on one connection and match responses that
+// complete out of order.
+//
+// Both protocols share one port: the server sniffs the first byte of a
+// connection — 0xE5 (the esm2 magic, outside ASCII so no esm1 line can
+// begin with it) selects esm2, anything else selects esm1. A connection
+// never switches protocols after the first byte.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset 0   u8   magic0 = 0xE5
+//   offset 1   u8   magic1 = 0x32  ('2')
+//   offset 2   u8   version = 1
+//   offset 3   u8   verb
+//   offset 4   u64  request_id (echoed verbatim in the response)
+//   offset 12  u32  payload_len
+//   offset 16  u32  crc32 over bytes [0,16) ++ payload (IEEE, seed 0)
+//   offset 20  payload_len bytes of payload
+//
+// Request verbs are the esm1 verbs (FrameVerb below); payloads carry the
+// exact esm1 payload text (same arch grammar, same optional model key), so
+// the two protocols answer bit-identically. Response frames echo the
+// request id; an ok response's verb byte is `0x80 | request_verb` and its
+// payload is the esm1 ok payload text. An error response's verb byte is
+// 0xFF and its payload is one ErrorCode byte followed by the
+// human-readable detail text — the same ErrorCode space esm1 spells as
+// string tokens (serve/error.hpp).
+//
+// A malformed frame (bad magic, bad version, CRC mismatch, declared
+// length over the cap) is unrecoverable: past a corrupt header there is no
+// way to resynchronize on frame boundaries, so the server answers one
+// final error frame (request id 0, ErrorCode::bad_frame) and closes the
+// connection. Truncated frames simply wait for more bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace esm::serve {
+
+inline constexpr unsigned char kFrameMagic0 = 0xE5;
+inline constexpr unsigned char kFrameMagic1 = 0x32;
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 20;
+
+/// Verb byte of a request frame. Values are wire format — never renumber.
+enum class FrameVerb : std::uint8_t {
+  predict = 1,
+  predict_batch = 2,
+  info = 3,
+  models = 4,
+  stats = 5,
+  reload = 6,
+  shutdown = 7,
+};
+
+/// Set on an ok-response verb byte (0x80 | request verb).
+inline constexpr std::uint8_t kFrameResponseBit = 0x80;
+/// The whole verb byte of an error response.
+inline constexpr std::uint8_t kFrameErrorVerb = 0xFF;
+
+/// esm1 verb text for a request verb byte, or "" for an unknown byte.
+std::string_view frame_verb_name(std::uint8_t verb);
+
+/// Request verb byte for esm1 verb text; false when `name` is no verb.
+bool parse_frame_verb(std::string_view name, FrameVerb& out);
+
+/// One decoded frame (request or response — the verb byte tells).
+struct Frame {
+  std::uint64_t request_id = 0;
+  std::uint8_t verb = 0;
+  std::string payload;
+};
+
+/// Encodes one frame (header + CRC + payload) ready to write to the wire.
+std::string encode_frame(std::uint64_t request_id, std::uint8_t verb,
+                         std::string_view payload);
+
+/// Convenience encoders for the three frame shapes.
+std::string encode_request(std::uint64_t request_id, FrameVerb verb,
+                           std::string_view payload);
+std::string encode_ok_response(std::uint64_t request_id,
+                               std::uint8_t request_verb,
+                               std::string_view payload);
+std::string encode_error_response(std::uint64_t request_id, std::uint8_t code,
+                                  std::string_view detail);
+
+/// Splits an error-response payload into its code byte and detail text.
+/// False when the payload is empty (no code byte).
+bool split_error_payload(std::string_view payload, std::uint8_t& code,
+                         std::string_view& detail);
+
+enum class FrameParse {
+  need_more,  ///< the buffer holds a prefix of a valid frame; read on
+  ok,         ///< one frame decoded and consumed from the buffer
+  bad,        ///< unrecoverable framing error; close the connection
+};
+
+/// Tries to decode one frame from the head of `buffer`. On `ok` the frame
+/// is consumed (erased from the buffer head) so the call can be repeated
+/// to drain pipelined frames. On `bad`, `error` describes the violation
+/// (bad magic / unsupported version / oversized / CRC mismatch) and the
+/// buffer is left untouched. `max_payload` bounds the declared payload
+/// length; anything larger is `bad` before a single payload byte is
+/// buffered, so a hostile length prefix cannot balloon memory.
+FrameParse parse_frame(std::string& buffer, Frame& out, std::string& error,
+                       std::size_t max_payload);
+
+}  // namespace esm::serve

@@ -130,6 +130,15 @@ std::string format_error(const std::string& code, const std::string& detail) {
          sanitize_one_line(detail);
 }
 
+std::string format_error(ErrorCode code, const std::string& detail) {
+  return format_error(std::string(to_string(code)), detail);
+}
+
+std::string format_reply_esm1(const Reply& reply) {
+  return reply.ok ? format_ok(reply.verb, reply.payload)
+                  : format_error(reply.code, reply.payload);
+}
+
 bool parse_response(const std::string& line, ParsedResponse& out) {
   std::istringstream tokens(line);
   std::string prefix, status;

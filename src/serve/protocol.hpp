@@ -42,20 +42,16 @@
 
 #include "nets/arch.hpp"
 #include "nets/supernet.hpp"
+#include "serve/error.hpp"
 
 namespace esm::serve {
 
 /// Response-framing version token; bump on incompatible response changes.
 inline constexpr const char* kResponsePrefix = "esm1";
 
-// Stable error codes.
-inline constexpr const char* kErrBadRequest = "bad_request";
-inline constexpr const char* kErrBadArch = "bad_arch";
-inline constexpr const char* kErrUnknownVerb = "unknown_verb";
-inline constexpr const char* kErrOversized = "oversized";
-inline constexpr const char* kErrReloadFailed = "reload_failed";
-inline constexpr const char* kErrServerError = "server_error";
-inline constexpr const char* kErrUnknownModel = "unknown_model";
+// Error codes live in serve/error.hpp (one ErrorCode space shared by esm1
+// and esm2); the kErr* string constants remain available through that
+// header for existing callers.
 
 /// Verb + rest-of-line payload of a request ("" when absent). The verb of
 /// an empty line is "".
@@ -86,6 +82,24 @@ std::string format_ok(const std::string& verb, const std::string& payload);
 /// Formats "esm1 err <code> <detail>". Newlines in the detail are replaced
 /// with spaces so the response stays one frame.
 std::string format_error(const std::string& code, const std::string& detail);
+
+/// Same, from the shared ErrorCode enum (spells the stable wire token).
+std::string format_error(ErrorCode code, const std::string& detail);
+
+/// Structured outcome of one request, before protocol rendering: esm1
+/// renders a Reply as a text line (format_reply_esm1), esm2 as a binary
+/// frame. Both protocols carry the same verb/payload/code, which is what
+/// keeps their answers bit-identical.
+struct Reply {
+  bool ok = true;
+  ErrorCode code = ErrorCode::server_error;  ///< valid when !ok
+  std::string verb;       ///< request verb (names the ok response)
+  std::string payload;    ///< ok payload text, or the error detail
+  bool shutdown = false;  ///< the request was an accepted `shutdown`
+};
+
+/// Renders a Reply as its esm1 response line ("esm1 ok ..."/"esm1 err ...").
+std::string format_reply_esm1(const Reply& reply);
 
 /// A response split into its three fields.
 struct ParsedResponse {

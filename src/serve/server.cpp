@@ -1,5 +1,6 @@
 #include "serve/server.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <sstream>
@@ -18,6 +19,21 @@ using Clock = std::chrono::steady_clock;
 double elapsed_us(Clock::time_point since) {
   return std::chrono::duration<double, std::micro>(Clock::now() - since)
       .count();
+}
+
+Reply ok_reply(std::string verb, std::string payload) {
+  Reply reply;
+  reply.verb = std::move(verb);
+  reply.payload = std::move(payload);
+  return reply;
+}
+
+Reply error_reply(ErrorCode code, std::string detail) {
+  Reply reply;
+  reply.ok = false;
+  reply.code = code;
+  reply.payload = std::move(detail);
+  return reply;
 }
 
 }  // namespace
@@ -120,73 +136,122 @@ void PredictionServer::session_loop(std::shared_ptr<Stream> stream) {
 
 std::string PredictionServer::handle_line(const std::string& line,
                                           bool& shutdown_requested) {
-  const ParsedRequest request = split_request(line);
+  // Blocking adapter over the async core: cache hits and control verbs
+  // complete inline, misses resolve from the batcher thread; either way
+  // the session thread waits here, exactly as it did pre-event-loop.
+  std::promise<Reply> promise;
+  std::future<Reply> future = promise.get_future();
+  handle_request(split_request(line), line.size(),
+                 [&promise](Reply&& reply) {
+                   promise.set_value(std::move(reply));
+                 });
+  const Reply reply = future.get();
+  shutdown_requested = reply.shutdown;
+  return format_reply_esm1(reply);
+}
+
+void PredictionServer::handle_request(const ParsedRequest& request,
+                                      std::size_t wire_bytes,
+                                      ReplyCallback done) {
+  try {
+    dispatch_request(request, wire_bytes, done);
+  } catch (const std::exception& e) {
+    // Backstop: no request, however malformed, may take down its
+    // transport. Handlers invoke `done` as their final action, so an
+    // exception escaping here means `done` has not fired yet.
+    if (done) done(error_reply(ErrorCode::server_error, e.what()));
+  }
+}
+
+void PredictionServer::dispatch_request(const ParsedRequest& request,
+                                        std::size_t wire_bytes,
+                                        ReplyCallback& done) {
   const bool is_predict =
       request.verb == "predict" || request.verb == "predict_batch";
 
-  if (line.size() > config_.max_line_bytes) {
+  if (wire_bytes > config_.max_line_bytes) {
     is_predict
         ? metrics_.count_predict_error(metrics_.model_section(
               kUnroutedSection))
         : metrics_.count_control_line(true);
-    return format_error(kErrOversized,
-                        "request of " + std::to_string(line.size()) +
-                            " bytes exceeds the " +
-                            std::to_string(config_.max_line_bytes) +
-                            "-byte limit");
+    done(error_reply(ErrorCode::oversized,
+                     "request of " + std::to_string(wire_bytes) +
+                         " bytes exceeds the " +
+                         std::to_string(config_.max_line_bytes) +
+                         "-byte limit"));
+    return;
   }
 
   if (request.verb == "predict") {
     if (request.payload.empty()) {
       metrics_.count_predict_error(metrics_.model_section(kUnroutedSection));
-      return format_error(kErrBadRequest, "predict needs an architecture");
+      done(error_reply(ErrorCode::bad_request,
+                       "predict needs an architecture"));
+      return;
     }
-    return handle_predict(request.payload);
+    handle_predict(request.payload, std::move(done));
+    return;
   }
   if (request.verb == "predict_batch") {
     if (request.payload.empty()) {
       metrics_.count_predict_error(metrics_.model_section(kUnroutedSection));
-      return format_error(kErrBadRequest,
-                          "predict_batch needs ';'-separated architectures");
+      done(error_reply(ErrorCode::bad_request,
+                       "predict_batch needs ';'-separated architectures"));
+      return;
     }
-    return handle_predict_batch(request.payload);
+    handle_predict_batch(request.payload, std::move(done));
+    return;
   }
   if (request.verb == "info") {
     // `info` takes an optional model key; validation happens inside.
-    return handle_info(request.payload);
+    done(handle_info(request.payload));
+    return;
   }
   if (request.verb == "models" || request.verb == "stats" ||
       request.verb == "shutdown") {
     if (!request.payload.empty()) {
       metrics_.count_control_line(true);
-      return format_error(kErrBadRequest,
-                          request.verb + " takes no payload");
+      done(error_reply(ErrorCode::bad_request,
+                       request.verb + " takes no payload"));
+      return;
     }
     metrics_.count_control_line(false);
-    if (request.verb == "models") return handle_models();
-    if (request.verb == "stats") return handle_stats();
-    shutdown_requested = true;
-    return format_ok("shutdown", "draining");
+    if (request.verb == "models") {
+      done(handle_models());
+      return;
+    }
+    if (request.verb == "stats") {
+      done(handle_stats());
+      return;
+    }
+    Reply reply = ok_reply("shutdown", "draining");
+    reply.shutdown = true;
+    done(std::move(reply));
+    return;
   }
   if (request.verb == "reload") {
     if (request.payload.empty()) {
       metrics_.count_control_line(true);
-      return format_error(kErrBadRequest,
-                          "reload needs a manifest or artifact path");
+      done(error_reply(ErrorCode::bad_request,
+                       "reload needs a manifest or artifact path"));
+      return;
     }
-    return handle_reload(request.payload);
+    done(handle_reload(request.payload));
+    return;
   }
   metrics_.count_control_line(true);
   if (request.verb.empty()) {
-    return format_error(kErrBadRequest, "empty request line");
+    done(error_reply(ErrorCode::bad_request, "empty request line"));
+    return;
   }
-  return format_error(kErrUnknownVerb,
-                      "unknown verb '" + request.verb +
-                          "' (predict, predict_batch, info, models, stats, "
-                          "reload, shutdown)");
+  done(error_reply(ErrorCode::unknown_verb,
+                   "unknown verb '" + request.verb +
+                       "' (predict, predict_batch, info, models, stats, "
+                       "reload, shutdown)"));
 }
 
-std::string PredictionServer::handle_predict(const std::string& payload) {
+void PredictionServer::handle_predict(const std::string& payload,
+                                      ReplyCallback done) {
   const RoutedPayload routed = split_model_key(payload);
   const std::shared_ptr<const ModelFleet> fleet = current_fleet();
   const FleetModel* model = routed.model.empty()
@@ -194,9 +259,10 @@ std::string PredictionServer::handle_predict(const std::string& payload) {
                                 : fleet->find(routed.model);
   if (model == nullptr) {
     metrics_.count_predict_error(metrics_.model_section(kUnroutedSection));
-    return format_error(kErrUnknownModel,
-                        "unknown model '" + routed.model +
-                            "' (see the models verb)");
+    done(error_reply(ErrorCode::unknown_model,
+                     "unknown model '" + routed.model +
+                         "' (see the models verb)"));
+    return;
   }
   ModelMetrics* section = metrics_.model_section(model->name);
   ArchConfig arch;
@@ -204,34 +270,40 @@ std::string PredictionServer::handle_predict(const std::string& payload) {
     arch = parse_arch_request(model->model->spec(), routed.rest);
   } catch (const ConfigError& e) {
     metrics_.count_predict_error(section);
-    return format_error(kErrBadArch, e.what());
+    done(error_reply(ErrorCode::bad_arch, e.what()));
+    return;
   }
   const std::string key =
       std::to_string(model->generation) + '|' + arch.to_string();
   if (const std::optional<double> hit = model->cache->get(key)) {
     metrics_.count_archs(1, 0, section);
     metrics_.count_predict_line(true, section);
-    return format_ok("predict", format_latency(*hit));
+    done(ok_reply("predict", format_latency(*hit)));
+    return;
   }
-  std::future<double> pending =
-      enqueue(std::move(arch), std::shared_ptr<const FleetModel>(fleet, model));
   metrics_.count_archs(0, 1, section);
-  try {
-    const double value = pending.get();
-    model->cache->put(key, value);
-    metrics_.count_predict_line(false, section);
-    return format_ok("predict", format_latency(value));
-  } catch (const ConfigError& e) {
-    metrics_.count_predict_error(section);
-    return format_error(kErrBadArch, e.what());
-  } catch (const std::exception& e) {
-    metrics_.count_predict_error(section);
-    return format_error(kErrServerError, e.what());
-  }
+  enqueue(std::move(arch), std::shared_ptr<const FleetModel>(fleet, model),
+          [this, section, key, cache = model->cache,
+           done = std::move(done)](double value, std::exception_ptr error) {
+            if (error == nullptr) {
+              cache->put(key, value);
+              metrics_.count_predict_line(false, section);
+              done(ok_reply("predict", format_latency(value)));
+              return;
+            }
+            metrics_.count_predict_error(section);
+            try {
+              std::rethrow_exception(error);
+            } catch (const ConfigError& e) {
+              done(error_reply(ErrorCode::bad_arch, e.what()));
+            } catch (const std::exception& e) {
+              done(error_reply(ErrorCode::server_error, e.what()));
+            }
+          });
 }
 
-std::string PredictionServer::handle_predict_batch(
-    const std::string& payload) {
+void PredictionServer::handle_predict_batch(const std::string& payload,
+                                            ReplyCallback done) {
   const RoutedPayload routed = split_model_key(payload);
   const std::shared_ptr<const ModelFleet> fleet = current_fleet();
   const FleetModel* model = routed.model.empty()
@@ -239,9 +311,10 @@ std::string PredictionServer::handle_predict_batch(
                                 : fleet->find(routed.model);
   if (model == nullptr) {
     metrics_.count_predict_error(metrics_.model_section(kUnroutedSection));
-    return format_error(kErrUnknownModel,
-                        "unknown model '" + routed.model +
-                            "' (see the models verb)");
+    done(error_reply(ErrorCode::unknown_model,
+                     "unknown model '" + routed.model +
+                         "' (see the models verb)"));
+    return;
   }
   ModelMetrics* section = metrics_.model_section(model->name);
   std::vector<ArchConfig> archs;
@@ -250,52 +323,101 @@ std::string PredictionServer::handle_predict_batch(
                              config_.max_batch_archs);
   } catch (const ConfigError& e) {
     metrics_.count_predict_error(section);
-    return format_error(kErrBadArch, e.what());
+    done(error_reply(ErrorCode::bad_arch, e.what()));
+    return;
   }
+
+  // Join state shared by the per-miss completions. Each completion writes
+  // its own slot, so the only cross-thread coordination is the remaining
+  // counter (acq_rel: the finalizing thread observes every slot write) and
+  // the error mutex.
+  struct BatchJoin {
+    std::vector<double> values;
+    ModelMetrics* section = nullptr;
+    std::shared_ptr<PredictionCache> cache;
+    ReplyCallback done;
+    std::atomic<std::size_t> remaining{0};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+  };
+
+  auto join = std::make_shared<BatchJoin>();
+  join->values.assign(archs.size(), 0.0);
+  join->section = section;
+  join->cache = model->cache;
+  join->done = std::move(done);
 
   struct Miss {
     std::size_t index;
     std::string key;
-    std::future<double> value;
+    ArchConfig arch;
   };
-  std::vector<double> values(archs.size(), 0.0);
   std::vector<Miss> misses;
   std::uint64_t hit_count = 0;
   for (std::size_t i = 0; i < archs.size(); ++i) {
     std::string key =
         std::to_string(model->generation) + '|' + archs[i].to_string();
     if (const std::optional<double> hit = model->cache->get(key)) {
-      values[i] = *hit;
+      join->values[i] = *hit;
       ++hit_count;
     } else {
-      misses.push_back(
-          Miss{i, std::move(key),
-               enqueue(archs[i],
-                       std::shared_ptr<const FleetModel>(fleet, model))});
+      misses.push_back(Miss{i, std::move(key), std::move(archs[i])});
     }
   }
   metrics_.count_archs(hit_count, misses.size(), section);
-  try {
-    for (Miss& miss : misses) {
-      values[miss.index] = miss.value.get();
-      model->cache->put(miss.key, values[miss.index]);
-    }
-  } catch (const ConfigError& e) {
-    metrics_.count_predict_error(section);
-    return format_error(kErrBadArch, e.what());
-  } catch (const std::exception& e) {
-    metrics_.count_predict_error(section);
-    return format_error(kErrServerError, e.what());
-  }
-  metrics_.count_predict_line(misses.empty(), section);
 
-  std::ostringstream os;
-  os << values.size();
-  for (double v : values) os << ' ' << format_latency(v);
-  return format_ok("predict_batch", os.str());
+  auto finalize = [this](BatchJoin& state) {
+    if (state.first_error != nullptr) {
+      metrics_.count_predict_error(state.section);
+      try {
+        std::rethrow_exception(state.first_error);
+      } catch (const ConfigError& e) {
+        state.done(error_reply(ErrorCode::bad_arch, e.what()));
+      } catch (const std::exception& e) {
+        state.done(error_reply(ErrorCode::server_error, e.what()));
+      }
+      return;
+    }
+    metrics_.count_predict_line(false, state.section);
+    std::ostringstream os;
+    os << state.values.size();
+    for (double v : state.values) os << ' ' << format_latency(v);
+    state.done(ok_reply("predict_batch", os.str()));
+  };
+
+  if (misses.empty()) {
+    metrics_.count_predict_line(true, section);
+    std::ostringstream os;
+    os << join->values.size();
+    for (double v : join->values) os << ' ' << format_latency(v);
+    join->done(ok_reply("predict_batch", os.str()));
+    return;
+  }
+
+  // The counter must reach its full value before any completion can fire,
+  // so every miss is enqueued only after `remaining` is set.
+  join->remaining.store(misses.size(), std::memory_order_relaxed);
+  for (Miss& miss : misses) {
+    enqueue(std::move(miss.arch),
+            std::shared_ptr<const FleetModel>(fleet, model),
+            [join, finalize, index = miss.index, key = std::move(miss.key)](
+                double value, std::exception_ptr error) {
+              if (error == nullptr) {
+                join->values[index] = value;
+                join->cache->put(key, value);
+              } else {
+                std::lock_guard<std::mutex> lock(join->error_mutex);
+                if (join->first_error == nullptr) join->first_error = error;
+              }
+              if (join->remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+                  1) {
+                finalize(*join);
+              }
+            });
+  }
 }
 
-std::string PredictionServer::handle_info(const std::string& payload) {
+Reply PredictionServer::handle_info(const std::string& payload) {
   const std::shared_ptr<const ModelFleet> fleet = current_fleet();
   const FleetModel* model = nullptr;
   if (payload.empty()) {
@@ -304,9 +426,9 @@ std::string PredictionServer::handle_info(const std::string& payload) {
     model = fleet->find(payload);
     if (model == nullptr) {
       metrics_.count_control_line(true);
-      return format_error(kErrUnknownModel,
-                          "unknown model '" + payload +
-                              "' (see the models verb)");
+      return error_reply(ErrorCode::unknown_model,
+                         "unknown model '" + payload +
+                             "' (see the models verb)");
     }
   }
   metrics_.count_control_line(false);
@@ -326,20 +448,20 @@ std::string PredictionServer::handle_info(const std::string& payload) {
     os << " manifest_crc32=" << fleet->manifest_crc32()
        << " manifest=" << fleet->source_path();
   }
-  return format_ok("info", os.str());
+  return ok_reply("info", os.str());
 }
 
-std::string PredictionServer::handle_models() {
+Reply PredictionServer::handle_models() {
   const std::shared_ptr<const ModelFleet> fleet = current_fleet();
   std::ostringstream os;
   for (std::size_t i = 0; i < fleet->models().size(); ++i) {
     if (i > 0) os << ' ';
     os << fleet->models()[i].name;
   }
-  return format_ok("models", os.str());
+  return ok_reply("models", os.str());
 }
 
-std::string PredictionServer::handle_stats() {
+Reply PredictionServer::handle_stats() {
   const std::shared_ptr<const ModelFleet> fleet = current_fleet();
   std::size_t cache_size = 0;
   for (const FleetModel& model : fleet->models()) {
@@ -349,40 +471,40 @@ std::string PredictionServer::handle_stats() {
   payload += " models=" + std::to_string(fleet->models().size()) +
              " cache_size=" + std::to_string(cache_size) +
              " cache_capacity=" + std::to_string(config_.cache_capacity);
-  return format_ok("stats", payload);
+  return ok_reply("stats", payload);
 }
 
-std::string PredictionServer::handle_reload(const std::string& path) {
+Reply PredictionServer::handle_reload(const std::string& path) {
   try {
     install_source(path);
   } catch (const std::exception& e) {
     // The old fleet keeps serving; install_source swaps only after every
     // entry of the new fleet loaded (all-or-nothing).
     metrics_.count_control_line(true);
-    return format_error(kErrReloadFailed, e.what());
+    return error_reply(ErrorCode::reload_failed, e.what());
   }
   metrics_.count_control_line(false);
   metrics_.count_reload();
   const std::shared_ptr<const ModelFleet> fleet = current_fleet();
   const FleetModel& def = fleet->default_model();
-  return format_ok("reload",
-                   "models=" + std::to_string(fleet->models().size()) +
-                       " default=" + def.name + " generation=" +
-                       std::to_string(def.generation) + " source=" + path);
+  return ok_reply("reload",
+                  "models=" + std::to_string(fleet->models().size()) +
+                      " default=" + def.name + " generation=" +
+                      std::to_string(def.generation) + " source=" + path);
 }
 
-std::future<double> PredictionServer::enqueue(
-    ArchConfig arch, std::shared_ptr<const FleetModel> model) {
+void PredictionServer::enqueue(
+    ArchConfig arch, std::shared_ptr<const FleetModel> model,
+    std::function<void(double, std::exception_ptr)> done) {
   Pending pending;
   pending.arch = std::move(arch);
   pending.model = std::move(model);
-  std::future<double> result = pending.result.get_future();
+  pending.done = std::move(done);
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     queue_.push_back(std::move(pending));
   }
   queue_cv_.notify_one();
-  return result;
 }
 
 void PredictionServer::batcher_loop() {
@@ -427,7 +549,7 @@ void PredictionServer::batcher_loop() {
       try {
         const std::vector<double> values = model->model->predict_all(archs);
         for (std::size_t k = 0; k < indices.size(); ++k) {
-          drained[indices[k]].result.set_value(values[k]);
+          drained[indices[k]].done(values[k], nullptr);
         }
       } catch (...) {
         // Per-arch fallback: one failing architecture (e.g. a layer a
@@ -435,11 +557,14 @@ void PredictionServer::batcher_loop() {
         // requests of other clients.
         for (std::size_t i : indices) {
           Pending& p = drained[i];
+          double value = 0.0;
+          std::exception_ptr error;
           try {
-            p.result.set_value(model->model->predict_ms(p.arch));
+            value = model->model->predict_ms(p.arch);
           } catch (...) {
-            p.result.set_exception(std::current_exception());
+            error = std::current_exception();
           }
+          p.done(value, error);
         }
       }
     }

@@ -8,10 +8,18 @@
 // between batches, and drains in-flight requests before stopping.
 //
 // Threading model:
+//   - handle_request() is the transport-agnostic core: any front end hands
+//     it a split request plus a completion callback. Cache hits, control
+//     verbs, and errors complete inline on the calling thread; predictions
+//     that miss park on the shared pending queue and complete from the
+//     batcher thread. The thread-per-session esm1 path blocks on that
+//     callback (handle_line); the epoll event loop (serve/event_loop.hpp)
+//     instead posts completions back to its reactor, so thousands of
+//     connections share one I/O thread.
 //   - serve(stream) spawns one session thread per client; it reads request
 //     lines, routes them to a fleet model, resolves cache hits inline, and
-//     parks misses on the shared pending queue behind a per-request
-//     promise.
+//     parks misses on the shared pending queue behind the completion
+//     callback.
 //   - one batcher thread drains the pending queue: whatever accumulated
 //     while the previous dispatch was in flight is grouped by model and
 //     each group becomes one predict_all dispatch (the drain is capped at
@@ -34,6 +42,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -47,6 +56,12 @@
 #include "surrogate/trainable.hpp"
 
 namespace esm::serve {
+
+/// Invoked exactly once with the outcome of one request handled through
+/// PredictionServer::handle_request — inline on the calling thread for
+/// cache hits, control verbs, and errors, or from the batcher thread for
+/// predictions that had to be computed. Must not throw.
+using ReplyCallback = std::function<void(Reply&&)>;
 
 struct ServeConfig {
   /// Loaded at construction: a fleet manifest (first line "esm-fleet v1")
@@ -92,38 +107,62 @@ class PredictionServer {
 
   MetricsSnapshot metrics() const { return metrics_.snapshot(); }
 
+  /// The configuration the server was constructed with (front ends read
+  /// the line/batch limits from here).
+  const ServeConfig& config() const { return config_; }
+
+  /// The live metrics sink, for front ends (the event loop) that record
+  /// their own service latency and connection counters.
+  ServerMetrics& metrics_sink() { return metrics_; }
+
   /// The currently served fleet (snapshot; reload may swap it right after).
   std::shared_ptr<const ModelFleet> fleet() const;
 
   /// The current default model's surrogate (single-artifact convenience).
   std::shared_ptr<const TrainableSurrogate> model() const;
 
+  /// Handles one already-split request, transport- and framing-agnostic:
+  /// the esm1 session path and the esm2 event loop both route here.
+  /// `wire_bytes` is the request's on-the-wire size (line or frame payload
+  /// length), used for the oversized check. `done` fires exactly once —
+  /// inline for cache hits, control verbs, and errors; from the batcher
+  /// thread for predictions that miss — and never throws out of this call:
+  /// unexpected handler exceptions become server_error replies.
+  void handle_request(const ParsedRequest& request, std::size_t wire_bytes,
+                      ReplyCallback done);
+
+  /// Blocking convenience over handle_request: handles one request line
+  /// and returns the rendered esm1 response; sets `shutdown_requested` for
+  /// the `shutdown` verb. (The thread-per-session transport runs on this.)
+  std::string handle_line(const std::string& line, bool& shutdown_requested);
+
  private:
+  /// One prediction waiting for the batcher. `done` is invoked from the
+  /// batcher thread with the value, or with the per-arch failure.
   struct Pending {
     ArchConfig arch;
     /// Aliased into the fleet snapshot the request was routed against;
-    /// keeps that fleet (and its caches) alive until the promise resolves.
+    /// keeps that fleet (and its caches) alive until `done` resolves.
     std::shared_ptr<const FleetModel> model;
-    std::promise<double> result;
+    std::function<void(double value, std::exception_ptr error)> done;
   };
 
   std::shared_ptr<const ModelFleet> current_fleet() const;
 
-  /// Handles one request line; returns the response line and sets
-  /// `shutdown_requested` for the `shutdown` verb.
-  std::string handle_line(const std::string& line, bool& shutdown_requested);
+  void dispatch_request(const ParsedRequest& request, std::size_t wire_bytes,
+                        ReplyCallback& done);
 
-  std::string handle_predict(const std::string& payload);
-  std::string handle_predict_batch(const std::string& payload);
-  std::string handle_info(const std::string& payload);
-  std::string handle_models();
-  std::string handle_stats();
-  std::string handle_reload(const std::string& path);
+  void handle_predict(const std::string& payload, ReplyCallback done);
+  void handle_predict_batch(const std::string& payload, ReplyCallback done);
+  Reply handle_info(const std::string& payload);
+  Reply handle_models();
+  Reply handle_stats();
+  Reply handle_reload(const std::string& path);
 
-  /// Queues one architecture for the batcher against `model`; the future
-  /// resolves with the prediction (or rethrows the per-arch failure).
-  std::future<double> enqueue(ArchConfig arch,
-                              std::shared_ptr<const FleetModel> model);
+  /// Queues one architecture for the batcher against `model`; `done` is
+  /// invoked from the batcher thread.
+  void enqueue(ArchConfig arch, std::shared_ptr<const FleetModel> model,
+               std::function<void(double, std::exception_ptr)> done);
 
   void session_loop(std::shared_ptr<Stream> stream);
   void batcher_loop();

@@ -1,0 +1,270 @@
+// Tests for the shared error-code space (serve/error.hpp) and the esm2
+// binary frame codec (serve/frame.hpp): exhaustive ErrorCode round trips
+// with the wire strings pinned, frame encode/decode round trips for every
+// shape, the truncation matrix (every proper prefix parses as need_more),
+// the corruption matrix (a flipped byte in any section is rejected), the
+// hostile-length bound, and pipelined multi-frame decoding.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/error.hpp"
+#include "serve/frame.hpp"
+#include "serve/protocol.hpp"
+
+namespace esm::serve {
+namespace {
+
+TEST(ErrorCodeTest, WireStringsArePinned) {
+  // These strings are wire format shared with PR-5/PR-7 clients: changing
+  // any of them breaks deployed scripts that match on the token.
+  EXPECT_STREQ(to_string(ErrorCode::bad_request), "bad_request");
+  EXPECT_STREQ(to_string(ErrorCode::bad_arch), "bad_arch");
+  EXPECT_STREQ(to_string(ErrorCode::unknown_verb), "unknown_verb");
+  EXPECT_STREQ(to_string(ErrorCode::oversized), "oversized");
+  EXPECT_STREQ(to_string(ErrorCode::reload_failed), "reload_failed");
+  EXPECT_STREQ(to_string(ErrorCode::server_error), "server_error");
+  EXPECT_STREQ(to_string(ErrorCode::unknown_model), "unknown_model");
+  EXPECT_STREQ(to_string(ErrorCode::bad_frame), "bad_frame");
+}
+
+TEST(ErrorCodeTest, WireBytesArePinned) {
+  EXPECT_EQ(static_cast<int>(ErrorCode::bad_request), 1);
+  EXPECT_EQ(static_cast<int>(ErrorCode::bad_arch), 2);
+  EXPECT_EQ(static_cast<int>(ErrorCode::unknown_verb), 3);
+  EXPECT_EQ(static_cast<int>(ErrorCode::oversized), 4);
+  EXPECT_EQ(static_cast<int>(ErrorCode::reload_failed), 5);
+  EXPECT_EQ(static_cast<int>(ErrorCode::server_error), 6);
+  EXPECT_EQ(static_cast<int>(ErrorCode::unknown_model), 7);
+  EXPECT_EQ(static_cast<int>(ErrorCode::bad_frame), 8);
+}
+
+TEST(ErrorCodeTest, ExhaustiveRoundTrip) {
+  for (const ErrorCode code : kAllErrorCodes) {
+    ErrorCode parsed;
+    ASSERT_TRUE(parse_error_code(to_string(code), parsed))
+        << to_string(code);
+    EXPECT_EQ(parsed, code);
+  }
+}
+
+TEST(ErrorCodeTest, ParseRejectsUnknownTokens) {
+  ErrorCode out;
+  EXPECT_FALSE(parse_error_code("", out));
+  EXPECT_FALSE(parse_error_code("bad", out));
+  EXPECT_FALSE(parse_error_code("bad_requests", out));
+  EXPECT_FALSE(parse_error_code("BAD_REQUEST", out));
+}
+
+TEST(ErrorCodeTest, UnknownByteDegradesToServerError) {
+  // A newer server's code must still render as a valid token.
+  EXPECT_STREQ(to_string(static_cast<ErrorCode>(200)), "server_error");
+}
+
+TEST(ErrorCodeTest, LegacyConstantsMatchToString) {
+  EXPECT_STREQ(kErrBadRequest, to_string(ErrorCode::bad_request));
+  EXPECT_STREQ(kErrBadArch, to_string(ErrorCode::bad_arch));
+  EXPECT_STREQ(kErrUnknownVerb, to_string(ErrorCode::unknown_verb));
+  EXPECT_STREQ(kErrOversized, to_string(ErrorCode::oversized));
+  EXPECT_STREQ(kErrReloadFailed, to_string(ErrorCode::reload_failed));
+  EXPECT_STREQ(kErrServerError, to_string(ErrorCode::server_error));
+  EXPECT_STREQ(kErrUnknownModel, to_string(ErrorCode::unknown_model));
+  EXPECT_STREQ(kErrBadFrame, to_string(ErrorCode::bad_frame));
+}
+
+TEST(ErrorCodeTest, Esm1ErrorLineUsesTheSameToken) {
+  EXPECT_EQ(format_error(ErrorCode::bad_arch, "nope"),
+            format_error(std::string(kErrBadArch), "nope"));
+}
+
+TEST(FrameVerbTest, NamesRoundTripAndMatchEsm1) {
+  const std::vector<std::pair<FrameVerb, std::string>> verbs = {
+      {FrameVerb::predict, "predict"},
+      {FrameVerb::predict_batch, "predict_batch"},
+      {FrameVerb::info, "info"},
+      {FrameVerb::models, "models"},
+      {FrameVerb::stats, "stats"},
+      {FrameVerb::reload, "reload"},
+      {FrameVerb::shutdown, "shutdown"},
+  };
+  for (const auto& [verb, name] : verbs) {
+    EXPECT_EQ(frame_verb_name(static_cast<std::uint8_t>(verb)), name);
+    FrameVerb parsed;
+    ASSERT_TRUE(parse_frame_verb(name, parsed)) << name;
+    EXPECT_EQ(parsed, verb);
+  }
+  EXPECT_EQ(frame_verb_name(0), "");
+  EXPECT_EQ(frame_verb_name(99), "");
+  FrameVerb out;
+  EXPECT_FALSE(parse_frame_verb("predicts", out));
+  EXPECT_FALSE(parse_frame_verb("", out));
+}
+
+constexpr std::size_t kCap = 4096;
+
+Frame must_parse(std::string wire) {
+  Frame frame;
+  std::string error;
+  const FrameParse r = parse_frame(wire, frame, error, kCap);
+  EXPECT_EQ(r, FrameParse::ok) << error;
+  EXPECT_TRUE(wire.empty()) << "frame not fully consumed";
+  return frame;
+}
+
+TEST(FrameTest, RequestRoundTrip) {
+  const Frame frame = must_parse(
+      encode_request(0x0123456789abcdefULL, FrameVerb::predict, "3,5,2,7"));
+  EXPECT_EQ(frame.request_id, 0x0123456789abcdefULL);
+  EXPECT_EQ(frame.verb, static_cast<std::uint8_t>(FrameVerb::predict));
+  EXPECT_EQ(frame.payload, "3,5,2,7");
+}
+
+TEST(FrameTest, EmptyPayloadRoundTrip) {
+  const Frame frame = must_parse(encode_request(7, FrameVerb::stats, ""));
+  EXPECT_EQ(frame.request_id, 7u);
+  EXPECT_EQ(frame.verb, static_cast<std::uint8_t>(FrameVerb::stats));
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(FrameTest, OkResponseRoundTrip) {
+  const Frame frame = must_parse(encode_ok_response(
+      42, static_cast<std::uint8_t>(FrameVerb::predict), "1.5"));
+  EXPECT_EQ(frame.request_id, 42u);
+  EXPECT_EQ(frame.verb, 0x80 | static_cast<std::uint8_t>(FrameVerb::predict));
+  EXPECT_EQ(frame.payload, "1.5");
+}
+
+TEST(FrameTest, ErrorResponseRoundTrip) {
+  const Frame frame = must_parse(encode_error_response(
+      9, static_cast<std::uint8_t>(ErrorCode::bad_arch), "depth 0"));
+  EXPECT_EQ(frame.request_id, 9u);
+  EXPECT_EQ(frame.verb, kFrameErrorVerb);
+  std::uint8_t code = 0;
+  std::string_view detail;
+  ASSERT_TRUE(split_error_payload(frame.payload, code, detail));
+  EXPECT_EQ(static_cast<ErrorCode>(code), ErrorCode::bad_arch);
+  EXPECT_EQ(detail, "depth 0");
+}
+
+TEST(FrameTest, SplitErrorPayloadRejectsEmpty) {
+  std::uint8_t code = 0;
+  std::string_view detail;
+  EXPECT_FALSE(split_error_payload("", code, detail));
+}
+
+TEST(FrameTest, BinaryPayloadSurvives) {
+  std::string payload;
+  for (int i = 0; i < 256; ++i) payload.push_back(static_cast<char>(i));
+  const Frame frame =
+      must_parse(encode_request(1, FrameVerb::predict_batch, payload));
+  EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(FrameTest, EveryTruncationNeedsMore) {
+  // Every proper prefix of a valid frame must park as need_more — a
+  // streaming parser can cut a frame at any byte.
+  const std::string wire = encode_request(77, FrameVerb::predict, "3,5,2,7");
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    std::string buffer = wire.substr(0, len);
+    Frame frame;
+    std::string error;
+    EXPECT_EQ(parse_frame(buffer, frame, error, kCap), FrameParse::need_more)
+        << "prefix of " << len << " bytes: " << error;
+    EXPECT_EQ(buffer.size(), len) << "need_more must not consume bytes";
+  }
+}
+
+TEST(FrameTest, BadMagicRejectedImmediately) {
+  // The first byte decides the protocol; a wrong one must be rejected
+  // even before a full header arrives.
+  std::string buffer = "e";  // an esm1-looking byte
+  Frame frame;
+  std::string error;
+  EXPECT_EQ(parse_frame(buffer, frame, error, kCap), FrameParse::bad);
+
+  std::string wire = encode_request(1, FrameVerb::predict, "3");
+  wire[1] = 'x';  // magic1
+  EXPECT_EQ(parse_frame(wire, frame, error, kCap), FrameParse::bad);
+}
+
+TEST(FrameTest, UnsupportedVersionRejected) {
+  std::string wire = encode_request(1, FrameVerb::predict, "3");
+  wire[2] = 2;
+  Frame frame;
+  std::string error;
+  EXPECT_EQ(parse_frame(wire, frame, error, kCap), FrameParse::bad);
+  EXPECT_NE(error.find("version"), std::string::npos);
+}
+
+TEST(FrameTest, FlippedByteInAnySectionIsRejected) {
+  // One CRC over header + payload: flipping any bit of any section —
+  // verb, id, length, CRC itself, payload — must not yield a valid frame.
+  // (Flipping a length byte may legitimately park as need_more when the
+  // declared length grows within the cap; it must never parse as ok.)
+  const std::string wire = encode_request(0x1122334455667788ULL,
+                                          FrameVerb::predict, "3,5,2,7");
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    std::string corrupted = wire;
+    corrupted[i] = static_cast<char>(corrupted[i] ^ 0x01);
+    Frame frame;
+    std::string error;
+    const FrameParse r = parse_frame(corrupted, frame, error, kCap);
+    EXPECT_NE(r, FrameParse::ok) << "flipped byte " << i;
+  }
+}
+
+TEST(FrameTest, OversizedDeclaredLengthRejectedBeforeBuffering) {
+  // A hostile length prefix is rejected from the header alone — no need
+  // to feed (or allocate) the declared payload.
+  std::string wire = encode_request(1, FrameVerb::predict, "33");
+  std::string header = wire.substr(0, kFrameHeaderBytes);
+  header[12] = static_cast<char>(0xFF);
+  header[13] = static_cast<char>(0xFF);
+  header[14] = static_cast<char>(0xFF);
+  header[15] = 0x7F;
+  Frame frame;
+  std::string error;
+  EXPECT_EQ(parse_frame(header, frame, error, kCap), FrameParse::bad);
+  EXPECT_NE(error.find("oversized"), std::string::npos);
+}
+
+TEST(FrameTest, PayloadAtTheCapStillParses) {
+  const std::string payload(kCap, 'x');
+  const Frame frame =
+      must_parse(encode_request(3, FrameVerb::predict_batch, payload));
+  EXPECT_EQ(frame.payload.size(), kCap);
+}
+
+TEST(FrameTest, PipelinedFramesDecodeInOrder) {
+  std::string buffer = encode_request(1, FrameVerb::predict, "3,5,2,7");
+  buffer += encode_request(2, FrameVerb::stats, "");
+  buffer += encode_request(3, FrameVerb::predict, "1,1,1,1");
+  Frame frame;
+  std::string error;
+  ASSERT_EQ(parse_frame(buffer, frame, error, kCap), FrameParse::ok);
+  EXPECT_EQ(frame.request_id, 1u);
+  ASSERT_EQ(parse_frame(buffer, frame, error, kCap), FrameParse::ok);
+  EXPECT_EQ(frame.request_id, 2u);
+  ASSERT_EQ(parse_frame(buffer, frame, error, kCap), FrameParse::ok);
+  EXPECT_EQ(frame.request_id, 3u);
+  EXPECT_EQ(parse_frame(buffer, frame, error, kCap), FrameParse::need_more);
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(FrameTest, GarbageAfterValidFrameIsRejectedNotSkipped) {
+  // Interleaved garbage cannot be resynchronized past: the frame before
+  // it parses, the garbage after it is bad (the connection would close).
+  std::string buffer = encode_request(5, FrameVerb::predict, "2,2,2,2");
+  buffer += "predict 3,5,2,7\n";  // an esm1 line is garbage mid-esm2
+  Frame frame;
+  std::string error;
+  ASSERT_EQ(parse_frame(buffer, frame, error, kCap), FrameParse::ok);
+  EXPECT_EQ(frame.request_id, 5u);
+  EXPECT_EQ(parse_frame(buffer, frame, error, kCap), FrameParse::bad);
+}
+
+}  // namespace
+}  // namespace esm::serve
